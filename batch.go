@@ -1,0 +1,50 @@
+package inplace
+
+import (
+	"fmt"
+
+	"inplace/internal/parallel"
+)
+
+// TransposeBatch transposes `count` equally-shaped rows×cols matrices
+// stored back to back in data, each in place. Batches of small matrices
+// are the register-file workload of the paper's Section 6 scaled up to
+// memory: each matrix transposes independently, so the batch
+// parallelizes over matrices with perfect load balance, and the plan —
+// gcd cofactors, modular inverses, reciprocals — is computed once and
+// shared (§6.2.4: the dimensions are static, so index computation is
+// amortized).
+//
+// Matrices small enough that parallelizing their internal passes would
+// only add synchronization run sequentially within one worker.
+func TransposeBatch[T any](data []T, count, rows, cols int, opts ...Options) error {
+	o := Options{}
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if count <= 0 {
+		return fmt.Errorf("%w (got count=%d)", ErrShape, count)
+	}
+	p, err := NewPlan(rows, cols, o)
+	if err != nil {
+		return err
+	}
+	stride := rows * cols
+	if len(data) != count*stride {
+		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*stride)
+	}
+	parallel.For(count, o.Workers, func(w, lo, hi int) {
+		// Each matrix runs single-threaded; the batch dimension provides
+		// the parallelism.
+		inner := *p
+		inner.opts.Workers = 1
+		for k := lo; k < hi; k++ {
+			// Do only fails on a length mismatch, which the batch-level
+			// check above has already excluded.
+			if err := Do(&inner, data[k*stride:(k+1)*stride]); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,67 @@
+package inplace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransposeBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 30; trial++ {
+		count := 1 + rng.Intn(20)
+		rows := 1 + rng.Intn(24)
+		cols := 1 + rng.Intn(24)
+		stride := rows * cols
+		data := make([]int, count*stride)
+		for i := range data {
+			data[i] = rng.Int()
+		}
+		want := make([]int, len(data))
+		for k := 0; k < count; k++ {
+			copy(want[k*stride:], reference(data[k*stride:(k+1)*stride], rows, cols))
+		}
+		if err := TransposeBatch(data, count, rows, cols, Options{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(data, want) {
+			t.Fatalf("batch %dx(%dx%d) wrong", count, rows, cols)
+		}
+	}
+}
+
+func TestTransposeBatchSingle(t *testing.T) {
+	data := intSeq(6)
+	if err := TransposeBatch(data, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(data, []int{0, 3, 1, 4, 2, 5}) {
+		t.Fatalf("single batch wrong: %v", data)
+	}
+}
+
+func TestTransposeBatchErrors(t *testing.T) {
+	if err := TransposeBatch(make([]int, 12), 0, 2, 3); err == nil {
+		t.Error("zero count must fail")
+	}
+	if err := TransposeBatch(make([]int, 11), 2, 2, 3); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if err := TransposeBatch(make([]int, 12), 2, -2, 3); err == nil {
+		t.Error("bad shape must fail")
+	}
+}
+
+func TestTransposeBatchRoundTrip(t *testing.T) {
+	count, rows, cols := 50, 17, 9
+	data := intSeq(count * rows * cols)
+	orig := append([]int(nil), data...)
+	if err := TransposeBatch(data, count, rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	if err := TransposeBatch(data, count, cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(data, orig) {
+		t.Fatal("batch round trip failed")
+	}
+}

@@ -1,0 +1,87 @@
+// Command benchsuite regenerates the paper's evaluation: every table and
+// figure of "A Decomposition for In-place Matrix Transposition"
+// (PPoPP 2014) has a corresponding experiment that prints the paper's
+// rows/series and writes a CSV for plotting.
+//
+// Usage:
+//
+//	benchsuite [-run fig3,table1|all] [-scale tiny|small|paper]
+//	           [-workers N] [-seed S] [-out results/]
+//
+// The default small scale shrinks the paper's matrix sizes to
+// laptop-class footprints while preserving every comparison; -scale
+// paper uses the published ranges (hundreds of MB per sample).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"inplace/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(bench.ExperimentOrder, ",")+") or 'all'")
+	scale := flag.String("scale", "small", "workload scale: tiny, small or paper")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 2014, "workload RNG seed")
+	out := flag.String("out", "results", "directory for CSV output ('' = none)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc, ok := bench.ParseScale(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: sc, Workers: *workers, Seed: *seed}
+
+	var ids []string
+	if *run == "all" {
+		ids = bench.ExperimentOrder
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := bench.Experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		results := bench.Experiments[id](cfg)
+		for _, r := range results {
+			fmt.Println(r.Text)
+			if r.CSV != "" && *out != "" {
+				path := filepath.Join(*out, r.Name+".csv")
+				if err := os.WriteFile(path, []byte(r.CSV), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("[wrote %s]\n\n", path)
+			}
+		}
+		fmt.Printf("== %s done in %v (scale=%s) ==\n\n", id, time.Since(start).Round(time.Millisecond), sc)
+	}
+}

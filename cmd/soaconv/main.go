@@ -1,0 +1,101 @@
+// Command soaconv converts a raw binary Array-of-Structures file to a
+// Structure-of-Arrays layout (or back) in place, using the skinny-matrix
+// specialization of the decomposition (paper §6.1).
+//
+// Usage:
+//
+//	soaconv -count N -fields K [-elem 8] [-to soa|aos] [-workers W] file
+//
+// The file must hold count structures of fields elements each (AoS, when
+// -to soa) or fields arrays of count elements (SoA, when -to aos).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"inplace"
+)
+
+func main() {
+	count := flag.Int("count", 0, "number of structures")
+	fields := flag.Int("fields", 0, "elements per structure")
+	elem := flag.Int("elem", 8, "element size in bytes (4 or 8)")
+	to := flag.String("to", "soa", "conversion direction: soa (AoS->SoA) or aos (SoA->AoS)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if flag.NArg() != 1 || *count <= 0 || *fields <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: soaconv -count N -fields K [-elem B] [-to soa|aos] file")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	n := *count * *fields
+	if len(raw) != n**elem {
+		fatal(fmt.Errorf("%s holds %d bytes, want %d", path, len(raw), n**elem))
+	}
+
+	o := inplace.Options{Workers: *workers}
+	convert := func(data any) error {
+		switch *to {
+		case "soa":
+			switch d := data.(type) {
+			case []uint32:
+				return inplace.AOSToSOA(d, *count, *fields, o)
+			case []uint64:
+				return inplace.AOSToSOA(d, *count, *fields, o)
+			}
+		case "aos":
+			switch d := data.(type) {
+			case []uint32:
+				return inplace.SOAToAOS(d, *count, *fields, o)
+			case []uint64:
+				return inplace.SOAToAOS(d, *count, *fields, o)
+			}
+		}
+		return fmt.Errorf("unknown direction %q", *to)
+	}
+
+	switch *elem {
+	case 4:
+		v := make([]uint32, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		if err := convert(v); err != nil {
+			fatal(err)
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(raw[4*i:], x)
+		}
+	case 8:
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		if err := convert(v); err != nil {
+			fatal(err)
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(raw[8*i:], x)
+		}
+	default:
+		fatal(fmt.Errorf("unsupported element size %d", *elem))
+	}
+
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %s to %s (count=%d fields=%d elem=%dB)\n", path, *to, *count, *fields, *elem)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soaconv:", err)
+	os.Exit(1)
+}

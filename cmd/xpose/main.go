@@ -1,0 +1,145 @@
+// Command xpose transposes a raw binary matrix file in place, and hosts
+// the walkthrough demos of the paper's Figures 1 and 2.
+//
+// Usage:
+//
+//	xpose -rows M -cols N [-elem 8] [-order row|col] [-method auto|...]
+//	      [-workers N] file
+//	xpose -demo fig1|fig2
+//
+// The file must hold rows*cols elements of the given byte width in the
+// given order; it is rewritten in place with the transposed layout.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"inplace"
+	"inplace/internal/bench"
+)
+
+func main() {
+	rows := flag.Int("rows", 0, "matrix rows")
+	cols := flag.Int("cols", 0, "matrix columns")
+	elem := flag.Int("elem", 8, "element size in bytes (1, 2, 4 or 8)")
+	order := flag.String("order", "row", "storage order: row or col")
+	method := flag.String("method", "auto", "engine: auto, algorithm1, gather, cache-aware or skinny")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	demo := flag.String("demo", "", "print a figure walkthrough (fig1 or fig2) and exit")
+	flag.Parse()
+
+	if *demo != "" {
+		runDemo(*demo)
+		return
+	}
+	if flag.NArg() != 1 || *rows <= 0 || *cols <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: xpose -rows M -cols N [-elem B] [-order row|col] file")
+		os.Exit(2)
+	}
+
+	o := inplace.Options{Workers: *workers}
+	switch *order {
+	case "row":
+		o.Order = inplace.RowMajor
+	case "col":
+		o.Order = inplace.ColMajor
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+	switch *method {
+	case "auto":
+		o.Method = inplace.Auto
+	case "algorithm1":
+		o.Method = inplace.Algorithm1
+	case "gather":
+		o.Method = inplace.GatherOnly
+	case "cache-aware":
+		o.Method = inplace.CacheAware
+	case "skinny":
+		o.Method = inplace.SkinnyMethod
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	want := *rows * *cols * *elem
+	if len(raw) != want {
+		fatal(fmt.Errorf("%s holds %d bytes, want %d (%dx%dx%dB)", path, len(raw), want, *rows, *cols, *elem))
+	}
+
+	if err := transposeBytes(raw, *rows, *cols, *elem, o); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("transposed %s: %dx%d -> %dx%d (%d-byte elements)\n", path, *rows, *cols, *cols, *rows, *elem)
+}
+
+// transposeBytes views the raw buffer as typed elements and transposes.
+func transposeBytes(raw []byte, rows, cols, elem int, o inplace.Options) error {
+	n := rows * cols
+	switch elem {
+	case 1:
+		return inplace.TransposeWith(raw, rows, cols, o)
+	case 2:
+		v := make([]uint16, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint16(raw[2*i:])
+		}
+		if err := inplace.TransposeWith(v, rows, cols, o); err != nil {
+			return err
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint16(raw[2*i:], x)
+		}
+	case 4:
+		v := make([]uint32, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		if err := inplace.TransposeWith(v, rows, cols, o); err != nil {
+			return err
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(raw[4*i:], x)
+		}
+	case 8:
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		if err := inplace.TransposeWith(v, rows, cols, o); err != nil {
+			return err
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(raw[8*i:], x)
+		}
+	default:
+		return fmt.Errorf("unsupported element size %d", elem)
+	}
+	return nil
+}
+
+func runDemo(name string) {
+	run, ok := bench.Experiments[name]
+	if !ok || (name != "fig1" && name != "fig2") {
+		fmt.Fprintf(os.Stderr, "xpose: unknown demo %q (want fig1 or fig2)\n", name)
+		os.Exit(2)
+	}
+	for _, r := range run(bench.Config{}) {
+		fmt.Println(r.Text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpose:", err)
+	os.Exit(1)
+}

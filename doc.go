@@ -1,0 +1,53 @@
+// Package inplace provides parallel in-place transposition of
+// rectangular matrices in O(mn) work with O(max(m,n)) auxiliary space,
+// implementing the decomposition of Catanzaro, Keller and Garland,
+// "A Decomposition for In-place Matrix Transposition" (PPoPP 2014).
+//
+// Instead of following the cycles of the full mn-element transposition
+// permutation — which needs either O(mn) cycle storage or O(mn log mn)
+// work — the transposition is decomposed into independent row-wise and
+// column-wise permutations ("C2R", columns-to-rows, and its inverse
+// "R2C"): a column pre-rotation, a per-row shuffle by a closed-form
+// bijection, and a column shuffle that factors into a rotation plus one
+// shared row permutation. Every pass is embarrassingly parallel with
+// perfect load balance.
+//
+// # Quick start
+//
+//	data := make([]float64, rows*cols) // row-major rows×cols
+//	if err := inplace.Transpose(data, rows, cols); err != nil { ... }
+//	// data now holds the row-major cols×rows transpose
+//
+// Repeated transposes of one shape should reuse a Plan:
+//
+//	p, _ := inplace.NewPlan(rows, cols, inplace.Options{})
+//	inplace.Do(p, data)
+//
+// # Array of Structures ↔ Structure of Arrays
+//
+// Transposing a count×fields row-major array converts an Array of
+// Structures into a Structure of Arrays. AOSToSOA and SOAToAOS validate
+// and delegate to the transposition; the direction heuristic then keeps
+// every column operation within the tiny structure dimension, which is
+// the paper's §6.1 specialization ("all column operations in on-chip
+// memory"):
+//
+//	inplace.AOSToSOA(words, count, fields)
+//
+// # Engine selection
+//
+// Options.Method picks the pass structure: Algorithm1 (the paper's
+// scatter-based Algorithm 1), GatherOnly (the gather formulation used by
+// the paper's parallel CPU implementation, §5.1), CacheAware (coarse/fine
+// rotations and cycle-following row permutes, §4.6–4.7, §5.2), or
+// SkinnyMethod (the banded-sweep formulation of §6.1). The default Auto
+// runs the cache-aware engine with the shape heuristic of §5.2: the C2R
+// and R2C pipelines have complementary performance landscapes with a
+// crossover at square shapes, and the heuristic picks the pipeline whose
+// internal columns are shorter (see Options.Direction to force either).
+//
+// The in-register SIMD formulation of §6.2, which lets a simulated SIMD
+// processor perform Array-of-Structures accesses at full memory
+// bandwidth, lives in internal/simd with its bandwidth model in
+// internal/memsim; cmd/benchsuite reproduces the paper's figures with it.
+package inplace

@@ -1,0 +1,131 @@
+// Particles: the Array-of-Structures problem the paper's introduction
+// motivates. A particle system is stored as an AoS because a physics
+// interface hands structures in and out, but a field-wise analysis pass
+// (here: center-of-mass and kinetic energy) wants the
+// Structure-of-Arrays layout for sequential field access. The skinny
+// in-place conversion lets the same buffer serve both phases with no
+// second allocation.
+//
+// Run with: go run ./examples/particles
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"inplace"
+)
+
+// A particle is 8 float64 fields: position (x,y,z), velocity (vx,vy,vz),
+// mass, charge — a 64-byte structure, the worst case of the paper's
+// Figure 8.
+const fields = 8
+
+const (
+	fX = iota
+	fY
+	fZ
+	fVX
+	fVY
+	fVZ
+	fMass
+	fCharge
+)
+
+func main() {
+	const count = 200_000
+	buf := make([]float64, count*fields)
+
+	// Phase 1: structure-wise initialization (AoS-friendly).
+	for p := 0; p < count; p++ {
+		s := buf[p*fields : (p+1)*fields]
+		fp := float64(p)
+		s[fX], s[fY], s[fZ] = math.Sin(fp), math.Cos(fp), fp/count
+		s[fVX], s[fVY], s[fVZ] = math.Cos(fp)/2, math.Sin(fp)/2, 1
+		s[fMass] = 1 + math.Mod(fp, 3)
+		s[fCharge] = math.Mod(fp, 2)*2 - 1
+	}
+
+	// AoS-layout analysis (strided field access) for reference timing.
+	t0 := time.Now()
+	comA, keA := analyzeAoS(buf, count)
+	aosTime := time.Since(t0)
+
+	// Convert to SoA in place; each field becomes one contiguous array.
+	t0 = time.Now()
+	if err := inplace.AOSToSOA(buf, count, fields); err != nil {
+		log.Fatal(err)
+	}
+	convTime := time.Since(t0)
+
+	t0 = time.Now()
+	comS, keS := analyzeSoA(buf, count)
+	soaTime := time.Since(t0)
+
+	fmt.Printf("particles: %d (%d fields, %d MB)\n", count, fields, count*fields*8/1_000_000)
+	fmt.Printf("AoS analysis: %v  -> com=(%.4f %.4f %.4f) ke=%.1f\n", aosTime.Round(time.Microsecond), comA[0], comA[1], comA[2], keA)
+	fmt.Printf("in-place AoS->SoA: %v (%.2f GB/s)\n", convTime.Round(time.Microsecond),
+		2*float64(count*fields*8)/convTime.Seconds()/1e9)
+	fmt.Printf("SoA analysis: %v  -> com=(%.4f %.4f %.4f) ke=%.1f\n", soaTime.Round(time.Microsecond), comS[0], comS[1], comS[2], keS)
+
+	for d := 0; d < 3; d++ {
+		if math.Abs(comA[d]-comS[d]) > 1e-9 {
+			log.Fatalf("layout conversion changed the physics: %v vs %v", comA, comS)
+		}
+	}
+	if math.Abs(keA-keS) > 1e-6*math.Abs(keA) {
+		log.Fatalf("kinetic energy mismatch: %v vs %v", keA, keS)
+	}
+
+	// Hand the buffer back to the structure-wise interface.
+	if err := inplace.SOAToAOS(buf, count, fields); err != nil {
+		log.Fatal(err)
+	}
+	s0 := buf[0:fields]
+	if s0[fX] != math.Sin(0) || s0[fMass] != 1 {
+		log.Fatal("round trip corrupted particle 0")
+	}
+	fmt.Println("SoA->AoS round trip verified")
+}
+
+// analyzeAoS computes mass-weighted center of mass and kinetic energy
+// with strided accesses into the AoS layout.
+func analyzeAoS(buf []float64, count int) (com [3]float64, ke float64) {
+	var mass float64
+	for p := 0; p < count; p++ {
+		s := buf[p*fields : (p+1)*fields]
+		m := s[fMass]
+		mass += m
+		com[0] += m * s[fX]
+		com[1] += m * s[fY]
+		com[2] += m * s[fZ]
+		ke += 0.5 * m * (s[fVX]*s[fVX] + s[fVY]*s[fVY] + s[fVZ]*s[fVZ])
+	}
+	for d := range com {
+		com[d] /= mass
+	}
+	return com, ke
+}
+
+// analyzeSoA computes the same quantities with contiguous field arrays.
+func analyzeSoA(buf []float64, count int) (com [3]float64, ke float64) {
+	field := func(f int) []float64 { return buf[f*count : (f+1)*count] }
+	xs, ys, zs := field(fX), field(fY), field(fZ)
+	vxs, vys, vzs := field(fVX), field(fVY), field(fVZ)
+	ms := field(fMass)
+	var mass float64
+	for p := 0; p < count; p++ {
+		m := ms[p]
+		mass += m
+		com[0] += m * xs[p]
+		com[1] += m * ys[p]
+		com[2] += m * zs[p]
+		ke += 0.5 * m * (vxs[p]*vxs[p] + vys[p]*vys[p] + vzs[p]*vzs[p])
+	}
+	for d := range com {
+		com[d] /= mass
+	}
+	return com, ke
+}

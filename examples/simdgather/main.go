@@ -1,0 +1,74 @@
+// Simdgather: the paper's Section 6 on a simulated SIMD processor. A
+// warp of 32 lanes loads 24-byte structures from an Array of Structures
+// three ways — compiler-style direct element accesses, 128-bit hardware
+// vector accesses, and the paper's in-register C2R/R2C transpose built
+// from shuffles and a branch-free barrel rotator — and the memory model
+// reports the coalescing efficiency and effective bandwidth of each
+// (the mechanism behind the paper's coalesced_ptr<T>).
+//
+// Run with: go run ./examples/simdgather
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inplace/internal/memsim"
+	"inplace/internal/simd"
+)
+
+func main() {
+	const (
+		lanes    = 32
+		words    = 3 // 24-byte structures
+		nStructs = 1 << 14
+	)
+	// Build the AoS: structure s, word w = s*1000 + w.
+	data := make([]uint64, nStructs*words)
+	for s := 0; s < nStructs; s++ {
+		for w := 0; w < words; w++ {
+			data[s*words+w] = uint64(s*1000 + w)
+		}
+	}
+
+	strategies := []struct {
+		name string
+		load func(w *simd.Warp, idx []int)
+	}{
+		{"Direct (element-wise)", func(w *simd.Warp, idx []int) { simd.DirectLoad(w, data, idx) }},
+		{"Vector (128-bit)", func(w *simd.Warp, idx []int) { simd.VectorLoad(w, data, idx) }},
+		{"C2R (in-register transpose)", func(w *simd.Warp, idx []int) {
+			simd.CoalescedLoad(w, simd.PlanFor(w), data, idx)
+		}},
+	}
+
+	fmt.Printf("AoS gather of %d-byte structures, %d structures, modeled K20c\n\n", words*8, nStructs)
+	for _, st := range strategies {
+		mem := memsim.New(memsim.K20c())
+		warp := simd.NewWarp(lanes, words, mem)
+		idx := make([]int, lanes)
+		// Sweep the whole array warp by warp (unit stride).
+		for base := 0; base+lanes <= nStructs; base += lanes {
+			for l := range idx {
+				idx[l] = base + l
+			}
+			st.load(warp, idx)
+			// Verify the last warp's registers: lane l must hold its
+			// structure regardless of strategy.
+			for l := 0; l < lanes; l++ {
+				for w := 0; w < words; w++ {
+					if got := warp.Get(w, l); got != uint64((base+l)*1000+w) {
+						log.Fatalf("%s: lane %d word %d wrong: %d", st.name, l, w, got)
+					}
+				}
+			}
+		}
+		s := mem.Stats()
+		fmt.Printf("%-28s %6.1f GB/s  (coalescing efficiency %4.0f%%, %d transactions, %d warp instructions)\n",
+			st.name, s.EffectiveGBps, s.Efficiency*100, s.Transactions, s.Loads+s.Stores+s.ALU)
+	}
+
+	fmt.Println("\nThe in-register transpose reads the same bytes with a fraction of the")
+	fmt.Println("transactions: the warp fetches contiguous rows and un-transposes in")
+	fmt.Println("registers, so no strided access ever reaches the memory system.")
+}

@@ -1,0 +1,94 @@
+package inplace
+
+import (
+	"testing"
+)
+
+// Fuzz targets: the in-place transposition must match the out-of-place
+// reference for arbitrary shapes, methods and directions, and must be a
+// perfect involution when applied forward and back. Run with
+// `go test -fuzz FuzzTranspose`; the seed corpus already covers the
+// degenerate and gcd-heavy corners.
+
+func FuzzTranspose(f *testing.F) {
+	f.Add(uint16(1), uint16(1), uint8(0), uint8(0))
+	f.Add(uint16(3), uint16(8), uint8(0), uint8(0))
+	f.Add(uint16(4), uint16(8), uint8(1), uint8(1))
+	f.Add(uint16(8), uint16(4), uint8(2), uint8(2))
+	f.Add(uint16(97), uint16(101), uint8(3), uint8(0))
+	f.Add(uint16(64), uint16(48), uint8(4), uint8(1))
+	f.Add(uint16(1), uint16(200), uint8(2), uint8(2))
+	f.Add(uint16(200), uint16(1), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, mRaw, nRaw uint16, methodRaw, dirRaw uint8) {
+		rows := int(mRaw%128) + 1
+		cols := int(nRaw%128) + 1
+		method := Method(methodRaw % 5)
+		dir := Direction(dirRaw % 3)
+		o := Options{Method: method, Direction: dir, Workers: 1 + int(methodRaw%3)}
+
+		data := make([]uint32, rows*cols)
+		for i := range data {
+			data[i] = uint32(i) * 2654435761
+		}
+		want := make([]uint32, len(data))
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				want[j*rows+i] = data[i*cols+j]
+			}
+		}
+		orig := append([]uint32(nil), data...)
+
+		if err := TransposeWith(data, rows, cols, o); err != nil {
+			t.Fatalf("transpose failed: %v", err)
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("%dx%d method=%v dir=%v: wrong at %d", rows, cols, method, dir, i)
+			}
+		}
+		if err := TransposeWith(data, cols, rows, o); err != nil {
+			t.Fatalf("inverse transpose failed: %v", err)
+		}
+		for i := range data {
+			if data[i] != orig[i] {
+				t.Fatalf("%dx%d method=%v dir=%v: round trip wrong at %d", rows, cols, method, dir, i)
+			}
+		}
+	})
+}
+
+func FuzzAOSRoundTrip(f *testing.F) {
+	f.Add(uint16(100), uint8(3))
+	f.Add(uint16(4096), uint8(8))
+	f.Add(uint16(1), uint8(1))
+	f.Add(uint16(333), uint8(31))
+	f.Fuzz(func(t *testing.T, countRaw uint16, fieldsRaw uint8) {
+		count := int(countRaw) + 1
+		fields := int(fieldsRaw%32) + 1
+		data := make([]uint64, count*fields)
+		for i := range data {
+			data[i] = uint64(i) * 0x9e3779b97f4a7c15
+		}
+		orig := append([]uint64(nil), data...)
+		if err := AOSToSOA(data, count, fields); err != nil {
+			t.Fatal(err)
+		}
+		// Field f of structure s must be at f*count+s.
+		step := 1 + count/17
+		for s := 0; s < count; s += step {
+			for fi := 0; fi < fields; fi++ {
+				if data[fi*count+s] != orig[s*fields+fi] {
+					t.Fatalf("count=%d fields=%d: SoA wrong at s=%d f=%d", count, fields, s, fi)
+				}
+			}
+		}
+		if err := SOAToAOS(data, count, fields); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if data[i] != orig[i] {
+				t.Fatalf("count=%d fields=%d: round trip wrong at %d", count, fields, i)
+			}
+		}
+	})
+}

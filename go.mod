@@ -1,0 +1,3 @@
+module inplace
+
+go 1.22

@@ -1,0 +1,270 @@
+package inplace
+
+import (
+	"errors"
+	"fmt"
+
+	"inplace/internal/core"
+	"inplace/internal/cr"
+)
+
+// Method selects the engine used to realize the transposition. All
+// methods compute the same permutation.
+type Method int
+
+const (
+	// Auto applies the paper's heuristics: the direction is chosen by
+	// shape so the internal columns are as short as possible (§5.2 and
+	// §6.1 — skinny AoS shapes automatically keep all column work in
+	// cache), running on the cache-aware engine.
+	Auto Method = iota
+	// Algorithm1 is the paper's Algorithm 1: gather pre-rotation,
+	// scatter row shuffle, gather column shuffle.
+	Algorithm1
+	// GatherOnly replaces the scatter row shuffle with a gather through
+	// the closed-form inverse d'^{-1} (§4.2); this is the structure of
+	// the paper's parallel CPU implementation (§5.1).
+	GatherOnly
+	// CacheAware adds the coarse/fine cache-aware rotations and the
+	// cycle-following whole-sub-row row permute (§4.6, §4.7); this is
+	// the structure of the paper's GPU implementation (§5.2).
+	CacheAware
+	// SkinnyMethod uses the fused band sweeps of the AoS↔SoA
+	// specialization (§6.1); it falls back to CacheAware when the shape
+	// is not skinny.
+	SkinnyMethod
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Algorithm1:
+		return "algorithm1"
+	case GatherOnly:
+		return "gather"
+	case CacheAware:
+		return "cache-aware"
+	case SkinnyMethod:
+		return "skinny"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Order identifies the linearization of the array handed to Transpose.
+type Order int
+
+const (
+	// RowMajor arrays store element (i, j) at offset j + i*cols.
+	RowMajor Order = iota
+	// ColMajor arrays store element (i, j) at offset i + j*rows. By
+	// Theorem 2, transposing a column-major rows×cols array is the same
+	// linear permutation as transposing a row-major cols×rows array.
+	ColMajor
+)
+
+// Options tunes a transposition.
+type Options struct {
+	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Method selects the engine; the zero value Auto is recommended.
+	Method Method
+	// Order is the linearization of the input array (default RowMajor).
+	Order Order
+	// BlockWidth overrides the cache-aware sub-row width in elements
+	// (0 = one 64-byte cache line of 64-bit elements).
+	BlockWidth int
+	// Direction forces the C2R or R2C formulation instead of the
+	// shape heuristic. Zero is the heuristic.
+	Direction Direction
+}
+
+// Direction optionally forces which of the two mutually-inverse
+// permutation pipelines performs the transposition.
+type Direction int
+
+const (
+	// HeuristicDirection picks the pipeline with the shorter internal
+	// columns — C2R when rows <= cols, R2C otherwise — combining the two
+	// complementary performance landscapes as §5.2 prescribes.
+	HeuristicDirection Direction = iota
+	// ForceC2R always uses the C2R pipeline.
+	ForceC2R
+	// ForceR2C always uses the R2C pipeline.
+	ForceR2C
+)
+
+// Plan caches the shape-dependent constants (gcd cofactors, modular
+// inverses, fixed-point reciprocals) and resolved engine choice for
+// transposing one shape repeatedly.
+type Plan struct {
+	rows, cols int
+	useC2R     bool
+	plan       *cr.Plan // C2R: (rows×cols); R2C: (cols×rows)
+	variant    core.Variant
+	opts       core.Opts
+}
+
+// ErrShape reports invalid dimensions.
+var ErrShape = errors.New("inplace: rows and cols must be positive")
+
+// ErrLength reports a data slice whose length does not match the plan.
+var ErrLength = errors.New("inplace: data length does not match rows*cols")
+
+// NewPlan validates the shape and resolves the engine for transposing a
+// rows×cols array with the given options.
+func NewPlan(rows, cols int, o Options) (*Plan, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w (got %dx%d)", ErrShape, rows, cols)
+	}
+	if o.Order == ColMajor {
+		// Theorem 2: a column-major rows×cols buffer is bit-identical to
+		// a row-major cols×rows buffer; transposing either is the same
+		// linear permutation.
+		rows, cols = cols, rows
+	}
+	p := &Plan{rows: rows, cols: cols}
+
+	switch o.Direction {
+	case ForceC2R:
+		p.useC2R = true
+	case ForceR2C:
+		p.useC2R = false
+	default:
+		// The C2R and R2C pipelines have complementary performance
+		// landscapes with a crossover at square shapes, so a shape
+		// heuristic picks between them (paper §5.2). For this
+		// implementation the C2R pipeline — whose internal column
+		// operations work on `rows`-long strided vectors — is fastest
+		// when rows is the smaller dimension, and symmetrically for
+		// R2C, so the heuristic prefers the direction with the shorter
+		// internal columns. (The paper's GPU implementation had the
+		// opposite orientation — m > n → C2R — because its bottleneck
+		// was fitting a row in on-chip memory rather than column-pass
+		// locality; the combined-heuristic principle is the same.)
+		p.useC2R = rows <= cols
+	}
+	if p.useC2R {
+		p.plan = cr.NewPlan(rows, cols)
+	} else {
+		p.plan = cr.NewPlan(cols, rows)
+	}
+
+	// With the direction heuristic, skinny (AoS-like) shapes already run
+	// with their small dimension as the internal column length, which is
+	// the paper's §6.1 prescription ("all column operations in on-chip
+	// memory"); the cache-aware engine therefore serves every shape.
+	// SkinnyMethod selects the alternative banded formulation explicitly.
+	method := o.Method
+	if method == Auto {
+		method = CacheAware
+	}
+	switch method {
+	case Algorithm1:
+		p.variant = core.Scatter
+	case GatherOnly:
+		p.variant = core.Gather
+	case CacheAware:
+		p.variant = core.CacheAware
+	case SkinnyMethod:
+		p.variant = core.Skinny
+	default:
+		return nil, fmt.Errorf("inplace: unknown method %v", method)
+	}
+	p.opts = core.Opts{Workers: o.Workers, Variant: p.variant, BlockW: o.BlockWidth}
+	return p, nil
+}
+
+// Rows returns the logical row count the plan transposes from.
+func (p *Plan) Rows() int { return p.rows }
+
+// Cols returns the logical column count the plan transposes from.
+func (p *Plan) Cols() int { return p.cols }
+
+// UsesC2R reports whether the plan runs the C2R pipeline (as opposed to
+// R2C).
+func (p *Plan) UsesC2R() bool { return p.useC2R }
+
+// String describes the plan.
+func (p *Plan) String() string {
+	dir := "R2C"
+	if p.useC2R {
+		dir = "C2R"
+	}
+	return fmt.Sprintf("inplace.Plan(%dx%d %s %v)", p.rows, p.cols, dir, p.variant)
+}
+
+// Do transposes data according to the plan: data must hold rows*cols
+// elements; afterwards it holds the transposed array (cols×rows in the
+// original order convention).
+func Do[T any](p *Plan, data []T) error {
+	if len(data) != p.rows*p.cols {
+		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), p.rows*p.cols)
+	}
+	if p.useC2R {
+		core.C2R(data, p.plan, p.opts)
+	} else {
+		core.R2C(data, p.plan, p.opts)
+	}
+	return nil
+}
+
+// Transpose transposes the row-major rows×cols array held in data, in
+// place, with default options: afterwards data holds the row-major
+// cols×rows transpose.
+func Transpose[T any](data []T, rows, cols int) error {
+	return TransposeWith(data, rows, cols, Options{})
+}
+
+// TransposeWith is Transpose with explicit options.
+func TransposeWith[T any](data []T, rows, cols int, o Options) error {
+	p, err := NewPlan(rows, cols, o)
+	if err != nil {
+		return err
+	}
+	return Do(p, data)
+}
+
+// C2R applies the paper's C2R permutation to a row-major m×n array with
+// the selected engine; the buffer then holds the row-major n×m
+// transpose. It is exposed directly for callers who need the paper's
+// primitive semantics (e.g. composing with other permutations); most
+// callers should use Transpose.
+func C2R[T any](data []T, m, n int, o Options) error {
+	if m <= 0 || n <= 0 {
+		return fmt.Errorf("%w (got %dx%d)", ErrShape, m, n)
+	}
+	if len(data) != m*n {
+		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), m*n)
+	}
+	core.C2R(data, cr.NewPlan(m, n), core.Opts{Workers: o.Workers, Variant: methodVariant(o.Method), BlockW: o.BlockWidth})
+	return nil
+}
+
+// R2C applies the inverse permutation of C2R: a row-major n×m buffer
+// becomes the row-major m×n transpose.
+func R2C[T any](data []T, m, n int, o Options) error {
+	if m <= 0 || n <= 0 {
+		return fmt.Errorf("%w (got %dx%d)", ErrShape, m, n)
+	}
+	if len(data) != m*n {
+		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), m*n)
+	}
+	core.R2C(data, cr.NewPlan(m, n), core.Opts{Workers: o.Workers, Variant: methodVariant(o.Method), BlockW: o.BlockWidth})
+	return nil
+}
+
+func methodVariant(m Method) core.Variant {
+	switch m {
+	case Algorithm1:
+		return core.Scatter
+	case GatherOnly:
+		return core.Gather
+	case SkinnyMethod:
+		return core.Skinny
+	default:
+		return core.CacheAware
+	}
+}

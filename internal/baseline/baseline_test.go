@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"inplace/internal/core"
+)
+
+func seqU32(n int) []uint32 {
+	x := make([]uint32, n)
+	for i := range x {
+		x[i] = uint32(i)
+	}
+	return x
+}
+
+func seqInts(n int) []int {
+	x := make([]int, n)
+	for i := range x {
+		x[i] = i
+	}
+	return x
+}
+
+func checkTransposed[T comparable](t *testing.T, name string, got, orig []T, m, n int) {
+	t.Helper()
+	want := make([]T, len(orig))
+	core.OutOfPlace(want, orig, m, n)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s m=%d n=%d: wrong at %d: got %v want %v", name, m, n, i, got[i], want[i])
+		}
+	}
+}
+
+func TestCycleFollowBitsExhaustive(t *testing.T) {
+	for m := 1; m <= 20; m++ {
+		for n := 1; n <= 20; n++ {
+			data := seqInts(m * n)
+			orig := append([]int(nil), data...)
+			CycleFollowBits(data, m, n)
+			checkTransposed(t, "CycleFollowBits", data, orig, m, n)
+		}
+	}
+}
+
+func TestCycleFollowLeaderExhaustive(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		for n := 1; n <= 16; n++ {
+			data := seqInts(m * n)
+			orig := append([]int(nil), data...)
+			CycleFollowLeader(data, m, n)
+			checkTransposed(t, "CycleFollowLeader", data, orig, m, n)
+		}
+	}
+}
+
+func TestCycleFollowLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(120)
+		n := 1 + rng.Intn(120)
+		data := make([]int, m*n)
+		for i := range data {
+			data[i] = rng.Int()
+		}
+		orig := append([]int(nil), data...)
+		CycleFollowBits(data, m, n)
+		checkTransposed(t, "CycleFollowBits", data, orig, m, n)
+	}
+}
+
+func TestCycleStats(t *testing.T) {
+	// 2x2 transpose permutation: swap of positions 1 and 2 — one cycle of
+	// length 2.
+	c, l := CycleStats(2, 2)
+	if c != 1 || l != 2 {
+		t.Fatalf("CycleStats(2,2) = %d,%d want 1,2", c, l)
+	}
+	if c, l = CycleStats(1, 10); c != 0 || l != 0 {
+		t.Fatalf("CycleStats(1,10) = %d,%d want 0,0", c, l)
+	}
+	// Total cycle length must not exceed mn.
+	c, l = CycleStats(37, 53)
+	if c <= 0 || l <= 1 || l > 37*53 {
+		t.Fatalf("CycleStats(37,53) = %d,%d implausible", c, l)
+	}
+}
+
+func TestTileDim(t *testing.T) {
+	cases := []struct{ d, target, want int }{
+		{1, 32, 1},
+		{7, 32, 7},      // small prime still fits within the target
+		{97, 32, 1},     // large prime: degenerates to 1-wide tiles
+		{64, 32, 32},    // powers of two: exactly target
+		{72, 32, 24},    // 2*2*2*3 = 24; one more factor would exceed 32
+		{7200, 72, 32},  // the paper's 7200×1800 example: tile 32×72
+		{1800, 72, 72},  // ... and the 72 side
+		{10368, 72, 64}, // the paper's 7223×10368 example: tile 31×64
+		{7223, 72, 31},  // ... and the 31 side (7223 = 31·233)
+		{100, 32, 20},
+		{6, 32, 6},
+	}
+	for _, c := range cases {
+		if got := TileDim(c.d, c.target); got != c.want {
+			t.Errorf("TileDim(%d,%d) = %d, want %d", c.d, c.target, got, c.want)
+		}
+	}
+	// Invariant: the result always divides d.
+	for d := 1; d <= 500; d++ {
+		for _, target := range []int{8, 32, 72} {
+			td := TileDim(d, target)
+			if td < 1 || d%td != 0 {
+				t.Fatalf("TileDim(%d,%d) = %d does not divide", d, target, td)
+			}
+		}
+	}
+}
+
+func TestGustavsonExhaustive(t *testing.T) {
+	for m := 1; m <= 20; m++ {
+		for n := 1; n <= 20; n++ {
+			data := seqInts(m * n)
+			orig := append([]int(nil), data...)
+			Gustavson(data, m, n, GustavsonOpts{Target: 4, Workers: 3})
+			checkTransposed(t, "Gustavson", data, orig, m, n)
+		}
+	}
+}
+
+func TestGustavsonLargerShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	shapes := [][2]int{{64, 48}, {48, 64}, {97, 101}, {100, 60}, {72, 72}, {128, 33}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		data := make([]int, m*n)
+		for i := range data {
+			data[i] = rng.Int()
+		}
+		orig := append([]int(nil), data...)
+		Gustavson(data, m, n, GustavsonOpts{Workers: 4})
+		checkTransposed(t, "Gustavson", data, orig, m, n)
+	}
+}
+
+func TestSung32Exhaustive(t *testing.T) {
+	for m := 1; m <= 20; m++ {
+		for n := 1; n <= 20; n++ {
+			data := seqU32(m * n)
+			orig := append([]uint32(nil), data...)
+			Sung32(data, m, n, SungOpts{Threshold: 4, Workers: 3})
+			checkTransposed(t, "Sung32", data, orig, m, n)
+		}
+	}
+}
+
+func TestSung32LargerShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := [][2]int{{72, 50}, {7200 / 50, 1800 / 10}, {97, 64}, {128, 96}, {81, 27}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		data := make([]uint32, m*n)
+		for i := range data {
+			data[i] = rng.Uint32()
+		}
+		orig := append([]uint32(nil), data...)
+		Sung32(data, m, n, SungOpts{Workers: 5})
+		checkTransposed(t, "Sung32", data, orig, m, n)
+	}
+}
+
+func TestBaselinePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bits":      func() { CycleFollowBits(make([]int, 5), 2, 3) },
+		"leader":    func() { CycleFollowLeader(make([]int, 5), 2, 3) },
+		"gustavson": func() { Gustavson(make([]int, 5), 2, 3, GustavsonOpts{}) },
+		"sung":      func() { Sung32(make([]uint32, 5), 2, 3, SungOpts{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on length mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

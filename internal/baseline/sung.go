@@ -1,0 +1,114 @@
+package baseline
+
+import "inplace/internal/parallel"
+
+// Sung-style in-place transposition (after I-J. Sung's dissertation and
+// the PTTWAC algorithm line). The transposition of a row-major m×n array
+// factors through a tiling of the row dimension by a factor a | m:
+//
+//	(m/a, a, n) --per-panel a×n transpose--> (m/a, n, a)
+//	(m/a, n, a) --coarse transpose of a-element segments--> (n, m/a, a)
+//
+// Step 1 transposes each contiguous a×n panel independently (the
+// barrier-synchronized on-chip stage of the original); step 2 transposes
+// the coarse (m/a)×n matrix whose elements are contiguous a-element
+// segments, by cycle following with one marker bit per segment — the
+// O(mn)-bit auxiliary footprint the paper points out. The tile factor a
+// comes from the factor heuristic described in the paper's §5.2
+// (threshold t = 72); dimensions with no usable factors degrade to a = 1,
+// i.e. plain element-wise cycle following, reproducing the published
+// behaviour on inconvenient sizes.
+//
+// Like the original implementation, this baseline targets 32-bit
+// elements; Sung32 fixes the element width accordingly.
+
+// SungOpts configures the Sung-style baseline.
+type SungOpts struct {
+	// Threshold is the tile-size target of the factor heuristic; 0 means
+	// 72, the value used in the paper's experiments.
+	Threshold int
+	// Workers is the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o SungOpts) threshold() int {
+	if o.Threshold > 0 {
+		return o.Threshold
+	}
+	return 72
+}
+
+// Sung32 transposes the row-major m×n array of 32-bit elements in place.
+func Sung32(data []uint32, m, n int, o SungOpts) {
+	if len(data) != m*n {
+		panic("baseline: Sung32 length mismatch")
+	}
+	if m == 1 || n == 1 {
+		return
+	}
+	a := TileDim(m, o.threshold())
+	ma := m / a
+
+	// Step 1: transpose each a×n panel in place (contiguous panels,
+	// independent, parallel). Marker bits are panel-local.
+	if a > 1 {
+		parallel.For(ma, o.Workers, func(w, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				CycleFollowBits(data[p*a*n:(p+1)*a*n], a, n)
+			}
+		})
+	}
+
+	// Step 2: coarse transposition of the (m/a)×n grid of a-element
+	// segments: a sequential index-only sweep over the marker bits
+	// discovers one leader per cycle (no data is touched), then workers
+	// follow disjoint cycles in parallel, moving whole segments. The
+	// marker bits are the per-unit O(mn)-bit footprint of the original;
+	// the leader list is a bounded extra the GPU original avoids by
+	// intra-warp arbitration.
+	if ma == 1 {
+		return
+	}
+	total := ma * n
+	mn1 := total - 1
+	bits := make([]uint64, (total+63)/64)
+	var leaders []int
+	for s := 1; s < mn1; s++ {
+		if bits[s>>6]&(1<<(s&63)) != 0 {
+			continue
+		}
+		length := 0
+		p := s
+		for {
+			bits[p>>6] |= 1 << (p & 63)
+			length++
+			p = (p * ma) % mn1
+			if p == s {
+				break
+			}
+		}
+		if length > 1 {
+			leaders = append(leaders, s)
+		}
+	}
+	parallel.For(len(leaders), o.Workers, func(w, lo, hi int) {
+		buf := make([]uint32, a)
+		spare := make([]uint32, a)
+		for li := lo; li < hi; li++ {
+			s := leaders[li]
+			copy(buf, data[s*a:(s+1)*a])
+			pos := s
+			for {
+				dst := (pos * ma) % mn1
+				dseg := data[dst*a : (dst+1)*a]
+				copy(spare, dseg)
+				copy(dseg, buf)
+				buf, spare = spare, buf
+				pos = dst
+				if pos == s {
+					break
+				}
+			}
+		}
+	})
+}

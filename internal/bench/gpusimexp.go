@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"inplace/internal/cr"
+	"inplace/internal/gpumodel"
+	"inplace/internal/gpusim"
+)
+
+// GPUSim executes the paper's GPU kernels on the simulated device
+// (internal/gpusim) for a set of representative shapes and places the
+// counted-transaction bandwidth next to the analytic model's prediction
+// (internal/gpumodel). The executed numbers land in the paper's measured
+// range and additionally expose the §4.6 alignment sensitivity the
+// analytic model averages away: when a row's byte size divides the
+// 128-byte line, every sub-row move is aligned and fully coalesced
+// (e.g. n = 4000), while odd row sizes split each sub-row across two
+// lines (the paper: "it may span two cache-lines if it is not aligned").
+// Fully deterministic.
+func GPUSim(cfg Config) []Result {
+	shapes := [][2]int{
+		{1500, 1000}, // small-n band: rows stage on chip
+		{1200, 1800}, // bulk, composite
+		{1201, 1801}, // bulk, coprime (skips the pre-rotation)
+		{997, 1021},  // primes: awkward for tiled baselines, fine here
+		{4000, 250},  // skinny-ish
+		{250, 4000},  // wide
+	}
+	if cfg.Scale == TinyScale {
+		shapes = shapes[:2]
+	}
+	dev := gpumodel.K20c()
+	var b strings.Builder
+	b.WriteString("Executed GPU kernels on simulated hardware vs the analytic model [GB/s]\n")
+	fmt.Fprintf(&b, "%12s %12s %12s %12s\n", "shape", "executed", "analytic", "efficiency")
+	var rows [][]float64
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		d := gpusim.NewK20c()
+		data := make([]uint64, m*n)
+		FillSeq(data)
+		d.C2R(data, cr.NewPlan(m, n))
+		executed := d.Throughput(m, n, 8)
+		analytic := dev.Estimate(m, n, 8, true)
+		eff := d.Mem.Stats().Efficiency
+		fmt.Fprintf(&b, "%12s %12.1f %12.1f %11.0f%%\n",
+			fmt.Sprintf("%dx%d", m, n), executed, analytic, eff*100)
+		rows = append(rows, []float64{float64(m), float64(n), executed, analytic, eff})
+	}
+	b.WriteString("\nThe executed kernels move the data for real (verified against the CPU\n")
+	b.WriteString("engines) while every warp access is coalesced and charged by the memory\n")
+	b.WriteString("model; the analytic model prices the same pass structure in closed form\n")
+	b.WriteString("with an averaged sub-row efficiency. The efficiency column shows the\n")
+	b.WriteString("paper's §4.6 alignment effect: shapes whose rows divide the cache line\n")
+	b.WriteString("coalesce perfectly, odd shapes split every sub-row across two lines.\n")
+	return []Result{{
+		Name: "gpusim",
+		Text: b.String(),
+		CSV:  CSV([]string{"m", "n", "executed_gbps", "analytic_gbps", "efficiency"}, rows),
+	}}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"inplace/internal/gpumodel"
+)
+
+// Modeled companions to the measured experiments: the analytic K20c
+// model (internal/gpumodel) regenerates the paper's landscapes and
+// medians at the published ranges, independent of the benchmark host.
+
+// modeledLandscape renders the Figure 4/5 landscape from the analytic
+// model over the paper's full [1000, 25000] grid.
+func modeledLandscape(name, title string, useC2R bool) Result {
+	dev := gpumodel.K20c()
+	var dims []int
+	for d := 1000; d <= 25000; d += 2000 {
+		dims = append(dims, d)
+	}
+	grid := make([][]float64, len(dims))
+	var rows [][]float64
+	for i, m := range dims {
+		grid[i] = make([]float64, len(dims))
+		for j, n := range dims {
+			v := dev.Estimate(m, n, 8, useC2R)
+			grid[i][j] = v
+			rows = append(rows, []float64{float64(m), float64(n), v})
+		}
+	}
+	return Result{
+		Name: name,
+		Text: RenderHeatmap(title, dims, dims, grid),
+		CSV:  CSV([]string{"m", "n", "gbps"}, rows),
+	}
+}
+
+// modeledTable2 summarizes the analytic model over the paper's Figure 6
+// workload.
+func modeledTable2(cfg Config) string {
+	dev := gpumodel.K20c()
+	rng := NewRNG(cfg.Seed + 62)
+	var double, float []float64
+	for s := 0; s < 800; s++ {
+		m := 1000 + rng.Intn(19000)
+		n := 1000 + rng.Intn(19000)
+		double = append(double, dev.EstimateHeuristic(m, n, 8))
+		float = append(float, dev.EstimateHeuristic(m, n, 4))
+	}
+	return fmt.Sprintf(
+		"Analytic K20c model over the paper's ranges: C2R (float) median %.1f GB/s (paper 14.23), C2R (double) median %.1f GB/s (paper 19.53)\n",
+		Median(float), Median(double))
+}
+
+// modeledFig7 summarizes the analytic skinny model over the paper's
+// Figure 7 workload.
+func modeledFig7(cfg Config) string {
+	dev := gpumodel.K20c()
+	rng := NewRNG(cfg.Seed + 71)
+	var tps []float64
+	for s := 0; s < 2000; s++ {
+		fields := 2 + rng.Intn(30)
+		count := 10_000 + rng.Intn(9_990_000)
+		tps = append(tps, dev.EstimateSkinny(count, fields, 8))
+	}
+	return fmt.Sprintf(
+		"Analytic K20c model over the paper's ranges: median %.1f GB/s (paper 34.3), fast cache-resident regime %.1f GB/s (paper max 51)\n",
+		Median(tps), dev.EstimateSkinny(12_000, 12, 8))
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"inplace/internal/memsim"
+	"inplace/internal/simd"
+)
+
+// Figures 8 and 9: Array-of-Structures vector memory accesses on the
+// modeled SIMD processor. For each structure size the simulated warp
+// performs the access pattern with each strategy over the modeled memory,
+// and the bandwidth follows from the coalescing/instruction model
+// (internal/memsim). Results are deterministic.
+
+// simdStructWords lists the structure sizes swept (in 64-bit words;
+// 8..64 bytes, the x-axis of Figures 8 and 9).
+func simdStructWords(s Scale) []int {
+	if s == TinyScale {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// simdWarpIters returns how many warps of accesses to simulate per point.
+func simdWarpIters(s Scale) int {
+	switch s {
+	case TinyScale:
+		return 8
+	case PaperScale:
+		return 2048
+	default:
+		return 256
+	}
+}
+
+type accessPattern int
+
+const (
+	patternUnitStride accessPattern = iota
+	patternRandom
+)
+
+type accessOp int
+
+const (
+	opLoad accessOp = iota
+	opStore
+	opCopy
+)
+
+func (o accessOp) String() string {
+	switch o {
+	case opLoad:
+		return "load"
+	case opStore:
+		return "store"
+	default:
+		return "copy"
+	}
+}
+
+// simulateAccess runs `iters` warps of the given AoS access over a
+// modeled memory and returns the effective bandwidth in GB/s.
+func simulateAccess(kind simd.AccessKind, op accessOp, pattern accessPattern, K, iters int, seed int64) float64 {
+	const W = 32
+	mem := memsim.New(memsim.K20c())
+	w := simd.NewWarp(W, K, mem)
+	plan := simd.PlanFor(w)
+	nStructs := W * iters * 2
+	src := make([]uint64, nStructs*K)
+	dst := make([]uint64, nStructs*K)
+	for i := range src {
+		src[i] = uint64(i)
+	}
+	rng := NewRNG(seed)
+	idx := make([]int, W)
+	for it := 0; it < iters; it++ {
+		switch pattern {
+		case patternUnitStride:
+			base := (it * W) % (nStructs - W + 1)
+			for l := range idx {
+				idx[l] = base + l
+			}
+		case patternRandom:
+			for l := range idx {
+				idx[l] = rng.Intn(nStructs)
+			}
+		}
+		load := func() {
+			switch kind {
+			case simd.AccessC2R:
+				simd.CoalescedLoad(w, plan, src, idx)
+			case simd.AccessDirect:
+				simd.DirectLoad(w, src, idx)
+			case simd.AccessVector:
+				simd.VectorLoad(w, src, idx)
+			}
+		}
+		store := func() {
+			switch kind {
+			case simd.AccessC2R:
+				simd.CoalescedStore(w, plan, dst, idx)
+			case simd.AccessDirect:
+				simd.DirectStore(w, dst, idx)
+			case simd.AccessVector:
+				simd.VectorStore(w, dst, idx)
+			}
+		}
+		switch op {
+		case opLoad:
+			load()
+		case opStore:
+			store()
+		case opCopy:
+			load()
+			store()
+		}
+	}
+	return mem.Stats().EffectiveGBps
+}
+
+func simdSeries(cfg Config, op accessOp, pattern accessPattern) (words []int, series map[simd.AccessKind][]float64) {
+	words = simdStructWords(cfg.Scale)
+	iters := simdWarpIters(cfg.Scale)
+	series = map[simd.AccessKind][]float64{}
+	for _, kind := range []simd.AccessKind{simd.AccessC2R, simd.AccessDirect, simd.AccessVector} {
+		for _, K := range words {
+			bw := simulateAccess(kind, op, pattern, K, iters, cfg.Seed+int64(K))
+			series[kind] = append(series[kind], bw)
+		}
+	}
+	return words, series
+}
+
+func renderSeries(name, title string, words []int, series map[simd.AccessKind][]float64) Result {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%12s %10s %10s %10s\n", "struct[B]", "C2R", "Direct", "Vector")
+	var rows [][]float64
+	for i, K := range words {
+		fmt.Fprintf(&b, "%12d %10.1f %10.1f %10.1f\n",
+			K*8, series[simd.AccessC2R][i], series[simd.AccessDirect][i], series[simd.AccessVector][i])
+		rows = append(rows, []float64{float64(K * 8),
+			series[simd.AccessC2R][i], series[simd.AccessDirect][i], series[simd.AccessVector][i]})
+	}
+	last := len(words) - 1
+	fmt.Fprintf(&b, "max C2R/Direct ratio: %.1fx\n",
+		series[simd.AccessC2R][last]/series[simd.AccessDirect][last])
+	return Result{Name: name, Text: b.String(),
+		CSV: CSV([]string{"struct_bytes", "c2r_gbps", "direct_gbps", "vector_gbps"}, rows)}
+}
+
+// Fig8 models unit-stride AoS accesses: (a) store bandwidth and (b)
+// copy (load+store) bandwidth versus structure size.
+func Fig8(cfg Config) []Result {
+	words, stores := simdSeries(cfg, opStore, patternUnitStride)
+	_, copies := simdSeries(cfg, opCopy, patternUnitStride)
+	return []Result{
+		renderSeries("fig8a", "Fig8a: unit-stride AoS store bandwidth [GB/s] on modeled K20c", words, stores),
+		renderSeries("fig8b", "Fig8b: unit-stride AoS copy bandwidth [GB/s] on modeled K20c", words, copies),
+	}
+}
+
+// Fig9 models random AoS accesses: (a) scatter (store) and (b) gather
+// (load) bandwidth versus structure size.
+func Fig9(cfg Config) []Result {
+	words, scatters := simdSeries(cfg, opStore, patternRandom)
+	_, gathers := simdSeries(cfg, opLoad, patternRandom)
+	return []Result{
+		renderSeries("fig9a", "Fig9a: random AoS scatter bandwidth [GB/s] on modeled K20c", words, scatters),
+		renderSeries("fig9b", "Fig9b: random AoS gather bandwidth [GB/s] on modeled K20c", words, gathers),
+	}
+}

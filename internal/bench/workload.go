@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ThroughputGBps implements Equation 37: an ideal transpose reads and
+// writes every element once, so throughput = 2*m*n*elemSize / time.
+func ThroughputGBps(m, n, elemSize int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	bytes := 2 * float64(m) * float64(n) * float64(elemSize)
+	return bytes / d.Seconds() / 1e9
+}
+
+// Time runs f once and returns its wall-clock duration.
+func Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Scale selects a workload size preset. The paper's exact ranges are
+// impractical on a laptop-class host (hundreds of megabytes per sample,
+// thousands of samples), so the default preset shrinks the ranges while
+// preserving the comparisons; PaperScale reproduces the published ranges.
+type Scale int
+
+// Workload presets.
+const (
+	// TinyScale is for harness self-tests.
+	TinyScale Scale = iota
+	// SmallScale is the default laptop-class preset: matrices beyond a
+	// typical 8–32 MB last-level cache.
+	SmallScale
+	// LargeScale uses matrices of hundreds of megabytes — past even very
+	// large (virtualized) last-level caches — with fewer samples. The
+	// out-of-cache comparisons of Figures 3 and 6 need this scale on
+	// hosts with unusually big caches.
+	LargeScale
+	// PaperScale uses the ranges from the paper's evaluation.
+	PaperScale
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case TinyScale:
+		return "tiny"
+	case SmallScale:
+		return "small"
+	case LargeScale:
+		return "large"
+	case PaperScale:
+		return "paper"
+	default:
+		return "Scale(?)"
+	}
+}
+
+// ParseScale maps a flag value to a Scale.
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "tiny":
+		return TinyScale, true
+	case "small", "":
+		return SmallScale, true
+	case "large":
+		return LargeScale, true
+	case "paper":
+		return PaperScale, true
+	default:
+		return SmallScale, false
+	}
+}
+
+// SizeRange is a half-open interval of matrix dimensions.
+type SizeRange struct{ Lo, Hi int }
+
+// Rand draws a dimension uniformly from the range.
+func (r SizeRange) Rand(rng *rand.Rand) int {
+	if r.Hi <= r.Lo+1 {
+		return r.Lo
+	}
+	return r.Lo + rng.Intn(r.Hi-r.Lo)
+}
+
+// Workload describes one experiment's sampling plan.
+type Workload struct {
+	Samples int
+	Dim     SizeRange // both m and n drawn from this range
+}
+
+// CPUWorkload returns the Figure 3 / Table 1 sampling plan: the paper
+// used 1000 matrices with m, n ∈ [1000, 10000).
+func CPUWorkload(s Scale) Workload {
+	switch s {
+	case TinyScale:
+		return Workload{Samples: 6, Dim: SizeRange{16, 64}}
+	case LargeScale:
+		return Workload{Samples: 14, Dim: SizeRange{4000, 9000}}
+	case PaperScale:
+		return Workload{Samples: 1000, Dim: SizeRange{1000, 10000}}
+	default:
+		return Workload{Samples: 60, Dim: SizeRange{1000, 2500}}
+	}
+}
+
+// GPUWorkload returns the Figure 6 / Table 2 sampling plan: the paper
+// used matrices with m, n ∈ [1000, 20000).
+func GPUWorkload(s Scale) Workload {
+	switch s {
+	case TinyScale:
+		return Workload{Samples: 6, Dim: SizeRange{16, 64}}
+	case LargeScale:
+		return Workload{Samples: 12, Dim: SizeRange{5000, 11000}}
+	case PaperScale:
+		return Workload{Samples: 2500, Dim: SizeRange{1000, 20000}}
+	default:
+		return Workload{Samples: 48, Dim: SizeRange{1000, 3000}}
+	}
+}
+
+// LandscapeGrid returns the Figure 4/5 sweep grid: the paper sampled
+// m, n ∈ [1000, 25000].
+func LandscapeGrid(s Scale) []int {
+	switch s {
+	case TinyScale:
+		return []int{16, 32, 64}
+	case LargeScale:
+		return []int{512, 1024, 1536, 2048, 2560, 3072, 3584, 4096}
+	case PaperScale:
+		g := make([]int, 0, 25)
+		for d := 1000; d <= 25000; d += 1000 {
+			g = append(g, d)
+		}
+		return g
+	default:
+		return []int{128, 192, 256, 384, 512, 640, 768, 896, 1024, 1280, 1536, 1792}
+	}
+}
+
+// AoSWorkload returns the Figure 7 sampling plan: structure sizes in
+// [2, 32) elements and structure counts in [1e4, 1e7).
+func AoSWorkload(s Scale) (samples int, fields SizeRange, count SizeRange) {
+	switch s {
+	case TinyScale:
+		return 6, SizeRange{2, 8}, SizeRange{256, 1024}
+	case LargeScale:
+		return 20, SizeRange{2, 32}, SizeRange{500_000, 4_000_000}
+	case PaperScale:
+		return 10000, SizeRange{2, 32}, SizeRange{10_000, 10_000_000}
+	default:
+		return 160, SizeRange{2, 32}, SizeRange{50_000, 500_000}
+	}
+}
+
+// FillSeq fills data with a deterministic non-repeating pattern.
+func FillSeq[T ~uint32 | ~uint64 | ~float32 | ~float64](data []T) {
+	for i := range data {
+		data[i] = T(i)
+	}
+}
+
+// NewRNG returns the experiment RNG for a given experiment id, so every
+// experiment is reproducible independently.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

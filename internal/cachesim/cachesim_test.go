@@ -1,0 +1,127 @@
+package cachesim
+
+import "testing"
+
+func TestCacheBasics(t *testing.T) {
+	c := New(1024, 64, 2) // 16 lines, 8 sets, 2 ways
+	if hit := c.Access(0); hit {
+		t.Fatal("cold access must miss")
+	}
+	if hit := c.Access(8); !hit {
+		t.Fatal("same-line access must hit")
+	}
+	if hit := c.Access(0); !hit {
+		t.Fatal("repeat access must hit")
+	}
+	a, m, r := c.Stats()
+	if a != 3 || m != 1 || r <= 0.3 || r >= 0.4 {
+		t.Fatalf("stats = %d %d %f", a, m, r)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(128, 64, 2) // 2 lines, 1 set, 2 ways
+	c.Access(0)          // line 0
+	c.Access(64)         // line 1
+	c.Access(0)          // refresh line 0
+	c.Access(128)        // evicts line 1 (LRU)
+	if !c.Access(0) {
+		t.Fatal("line 0 must have survived")
+	}
+	if c.Access(64) {
+		t.Fatal("line 1 must have been evicted")
+	}
+}
+
+func TestCacheSetMapping(t *testing.T) {
+	c := New(256, 64, 1) // 4 direct-mapped lines
+	// Addresses 0 and 256 map to the same set and conflict.
+	c.Access(0)
+	c.Access(256)
+	if c.Access(0) {
+		t.Fatal("conflicting line must have been evicted")
+	}
+	// Addresses 0 and 64 map to different sets and coexist.
+	c2 := New(256, 64, 1)
+	c2.Access(0)
+	c2.Access(64)
+	if !c2.Access(0) {
+		t.Fatal("different sets must not conflict")
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := New(1024, 64, 2)
+	c.AccessRange(60, 8) // straddles lines 0 and 1
+	a, m, _ := c.Stats()
+	if a != 2 || m != 2 {
+		t.Fatalf("straddling range: %d accesses %d misses", a, m)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 64, 1) },
+		func() { New(100, 64, 3) },
+		func() { New(64, 128, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for invalid geometry")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The traces must touch the whole matrix: a cache as large as the array
+// misses exactly once per line for cycle following (compulsory misses
+// only).
+func TestTraceCompulsoryMisses(t *testing.T) {
+	m, n, eb := 96, 80, 8
+	size := m * n * eb
+	c := New(2*size, 64, 8)
+	TraceCycleFollow(c, m, n, eb)
+	_, misses, _ := c.Stats()
+	lines := int64(size / 64)
+	if misses != lines {
+		t.Fatalf("cycle-follow compulsory misses = %d, want %d", misses, lines)
+	}
+}
+
+// The headline locality claim: with a realistically-sized cache much
+// smaller than the matrix, the decomposed C2R transposition causes far
+// less DRAM line traffic (absolute misses) than cycle following, even
+// though it moves every element three times and the cycle follower only
+// once. Miss counts are the right metric: every cycle-following miss
+// fetches a 64-byte line for one 8-byte element, while the decomposed
+// passes consume whole lines.
+func TestDecompositionLocalityAdvantage(t *testing.T) {
+	m, n, eb := 640, 544, 8 // ~2.8 MB matrix
+	cache := func() *Cache { return New(256<<10, 64, 8) }
+
+	cf := cache()
+	TraceCycleFollow(cf, m, n, eb)
+	_, cfMiss, _ := cf.Stats()
+
+	c2r := cache()
+	TraceC2R(c2r, m, n, eb, 8)
+	_, c2rMiss, _ := c2r.Stats()
+
+	if c2rMiss == 0 || cfMiss == 0 {
+		t.Fatal("traces must generate misses")
+	}
+	if float64(cfMiss) < 1.5*float64(c2rMiss) {
+		t.Fatalf("expected cycle-following to cause much more line traffic: cf=%d c2r=%d", cfMiss, c2rMiss)
+	}
+}
+
+func TestCacheString(t *testing.T) {
+	c := New(1024, 64, 2)
+	c.Access(0)
+	if c.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,194 @@
+package cachesim
+
+import (
+	"inplace/internal/cr"
+	"inplace/internal/perm"
+)
+
+// Address traces of the in-place transposition algorithms, at element
+// granularity (elemBytes per element). Each trace drives a Cache with
+// exactly the loads and stores the corresponding implementation issues
+// to the matrix buffer; per-worker scratch rows (which live in cache by
+// construction) are excluded, matching the paper's §4.5 observation.
+
+// TraceCycleFollow replays the traditional cycle-following transposition
+// of an m×n array: every element is read at its position and written at
+// its destination, in cycle order.
+func TraceCycleFollow(c *Cache, m, n, elemBytes int) {
+	if m <= 1 || n <= 1 {
+		return
+	}
+	mn1 := m*n - 1
+	visited := make([]bool, m*n)
+	for start := 1; start < mn1; start++ {
+		if visited[start] {
+			continue
+		}
+		pos := start
+		c.Access(int64(pos) * int64(elemBytes)) // read the displaced value
+		for {
+			visited[pos] = true
+			dst := (pos * m) % mn1
+			// swap: read the destination, write it.
+			c.Access(int64(dst) * int64(elemBytes))
+			c.Access(int64(dst) * int64(elemBytes))
+			pos = dst
+			if pos == start {
+				break
+			}
+		}
+	}
+}
+
+// TraceSung replays the Sung-style PTTWAC transposition: per-panel
+// element-wise cycle following inside contiguous a×n panels, then
+// segment-wise cycle following over the (m/a)×n grid of a-element
+// segments, with a chosen by the factor heuristic (threshold 72).
+func TraceSung(c *Cache, m, n, elemBytes, a int) {
+	if m <= 1 || n <= 1 {
+		return
+	}
+	eb := int64(elemBytes)
+	if a < 1 || m%a != 0 {
+		a = 1
+	}
+	// Step 1: panel transposes (contiguous a*n element regions).
+	if a > 1 {
+		for pnl := 0; pnl < m/a; pnl++ {
+			base := int64(pnl*a*n) * eb
+			mn1 := a*n - 1
+			visited := make([]bool, a*n)
+			for start := 1; start < mn1; start++ {
+				if visited[start] {
+					continue
+				}
+				pos := start
+				c.Access(base + int64(pos)*eb)
+				for {
+					visited[pos] = true
+					dst := (pos * a) % mn1
+					c.Access(base + int64(dst)*eb)
+					c.Access(base + int64(dst)*eb)
+					pos = dst
+					if pos == start {
+						break
+					}
+				}
+			}
+		}
+	}
+	// Step 2: segment cycle following over (m/a)×n segments.
+	ma := m / a
+	if ma == 1 {
+		return
+	}
+	total := ma * n
+	mn1 := total - 1
+	visited := make([]bool, total)
+	segBytes := a * elemBytes
+	for start := 1; start < mn1; start++ {
+		if visited[start] {
+			continue
+		}
+		pos := start
+		c.AccessRange(int64(pos)*int64(segBytes), segBytes)
+		for {
+			visited[pos] = true
+			dst := (pos * ma) % mn1
+			c.AccessRange(int64(dst)*int64(segBytes), segBytes)
+			c.AccessRange(int64(dst)*int64(segBytes), segBytes)
+			pos = dst
+			if pos == start {
+				break
+			}
+		}
+	}
+}
+
+// TraceC2R replays the cache-aware decomposed C2R transposition: the
+// coarse/fine column rotations, the streaming row shuffle, and the
+// cycle-following whole-sub-row row permute, with sub-rows of blockW
+// elements.
+func TraceC2R(c *Cache, m, n, elemBytes, blockW int) {
+	p := cr.NewPlan(m, n)
+	eb := int64(elemBytes)
+	addr := func(i, j int) int64 { return (int64(i)*int64(n) + int64(j)) * eb }
+
+	rotate := func(amount func(j int) int) {
+		for j0 := 0; j0 < n; j0 += blockW {
+			j1 := j0 + blockW
+			if j1 > n {
+				j1 = n
+			}
+			w := j1 - j0
+			k := amount(j0) % m
+			if k < 0 {
+				k += m
+			}
+			// Coarse: move whole sub-rows along the analytic cycles.
+			if k != 0 {
+				z := perm.RotationCycleCount(m, k)
+				clen := m / z
+				for y := 0; y < z; y++ {
+					pos := y
+					for s := 0; s < clen; s++ {
+						c.AccessRange(addr(pos, j0), w*elemBytes) // read
+						c.AccessRange(addr(pos, j0), w*elemBytes) // write
+						pos += k
+						if pos >= m {
+							pos -= m
+						}
+					}
+				}
+			}
+			// Fine: one streaming sweep when any residual is nonzero.
+			residual := false
+			for j := j0; j < j1; j++ {
+				r := amount(j) % m
+				if r < 0 {
+					r += m
+				}
+				if r != k {
+					residual = true
+					break
+				}
+			}
+			if residual {
+				for i := 0; i < m; i++ {
+					c.AccessRange(addr(i, j0), w*elemBytes) // read band
+					c.AccessRange(addr(i, j0), w*elemBytes) // write row
+				}
+			}
+		}
+	}
+
+	// Pass 1: pre-rotation (if gcd > 1).
+	if !p.Coprime {
+		rotate(p.Rot)
+	}
+	// Pass 2: row shuffle — each row read and rewritten in place.
+	for i := 0; i < m; i++ {
+		c.AccessRange(addr(i, 0), n*elemBytes)
+		c.AccessRange(addr(i, 0), n*elemBytes)
+	}
+	// Pass 3a: the p_j rotation.
+	rotate(func(j int) int { return j })
+	// Pass 3b: row permute along the cycles of q, whole sub-rows.
+	q := perm.FromFunc(m, p.Q)
+	leaders, lengths := q.Leaders()
+	for j0 := 0; j0 < n; j0 += blockW {
+		j1 := j0 + blockW
+		if j1 > n {
+			j1 = n
+		}
+		w := j1 - j0
+		for ci, start := range leaders {
+			pos := start
+			for s := 0; s < lengths[ci]; s++ {
+				c.AccessRange(addr(pos, j0), w*elemBytes)
+				c.AccessRange(addr(pos, j0), w*elemBytes)
+				pos = q[pos]
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cachesim
+
+import "testing"
+
+// With a cache larger than the matrix, the Sung trace (like any full
+// transposition) incurs exactly one compulsory miss per line.
+func TestTraceSungCompulsoryMisses(t *testing.T) {
+	m, n, eb := 96, 80, 8
+	size := m * n * eb
+	c := New(4*size, 64, 8)
+	TraceSung(c, m, n, eb, 8) // a = 8 divides 96
+	_, misses, _ := c.Stats()
+	if want := int64(size / 64); misses != want {
+		t.Fatalf("sung compulsory misses = %d, want %d", misses, want)
+	}
+}
+
+// With no usable tile factor (a = 1) the Sung trace degenerates to
+// element-wise cycle following: identical traffic.
+func TestTraceSungDegeneratesToCycleFollow(t *testing.T) {
+	m, n, eb := 97, 101, 8 // primes
+	sung := New(256<<10, 64, 8)
+	TraceSung(sung, m, n, eb, 1)
+	_, sMiss, _ := sung.Stats()
+
+	cf := New(256<<10, 64, 8)
+	TraceCycleFollow(cf, m, n, eb)
+	_, cMiss, _ := cf.Stats()
+
+	if sMiss != cMiss {
+		t.Fatalf("a=1 sung traffic %d must equal cycle-following %d", sMiss, cMiss)
+	}
+}
+
+// A usable factor makes the Sung trace far cheaper than element
+// cycle-following — the good-shape regime of Figure 6.
+func TestTraceSungFactorHelps(t *testing.T) {
+	// 7.7 MB matrix against a 1 MB cache: the matrix is far out of
+	// cache but one 48×1000 panel is resident, the regime PTTWAC's
+	// on-chip first step assumes.
+	m, n, eb := 960, 1000, 8
+	good := New(1<<20, 64, 8)
+	TraceSung(good, m, n, eb, 48)
+	_, gMiss, _ := good.Stats()
+
+	bad := New(1<<20, 64, 8)
+	TraceSung(bad, m, n, eb, 1)
+	_, bMiss, _ := bad.Stats()
+
+	if float64(bMiss) < 1.5*float64(gMiss) {
+		t.Fatalf("factored sung (%d) should be much cheaper than degenerate (%d)", gMiss, bMiss)
+	}
+}
+
+// An invalid factor (not dividing m) falls back to a = 1.
+func TestTraceSungInvalidFactor(t *testing.T) {
+	m, n, eb := 97, 50, 8
+	a := New(64<<10, 64, 8)
+	TraceSung(a, m, n, eb, 7) // 7 does not divide 97
+	_, aMiss, _ := a.Stats()
+	b := New(64<<10, 64, 8)
+	TraceSung(b, m, n, eb, 1)
+	_, bMiss, _ := b.Stats()
+	if aMiss != bMiss {
+		t.Fatalf("invalid factor must behave like a=1: %d vs %d", aMiss, bMiss)
+	}
+}
+
+// Degenerate shapes produce no traffic (transpose is the identity).
+func TestTraceDegenerateShapes(t *testing.T) {
+	for _, tr := range []func(c *Cache){
+		func(c *Cache) { TraceCycleFollow(c, 1, 50, 8) },
+		func(c *Cache) { TraceSung(c, 50, 1, 8, 1) },
+	} {
+		c := New(64<<10, 64, 8)
+		tr(c)
+		if a, _, _ := c.Stats(); a != 0 {
+			t.Fatalf("degenerate trace touched memory (%d accesses)", a)
+		}
+	}
+}

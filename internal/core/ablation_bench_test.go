@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"inplace/internal/cr"
+)
+
+// Ablation benchmarks for the design choices called out in DESIGN.md §5.
+// Each pair isolates one optimization of the paper's Section 4 so its
+// effect can be measured in isolation.
+
+func benchC2RVariant(b *testing.B, v Variant, m, n, workers int) {
+	plan := cr.NewPlan(m, n)
+	data := make([]uint64, m*n)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	b.SetBytes(int64(2 * m * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		C2R(data, plan, Opts{Variant: v, Workers: workers})
+	}
+}
+
+// Gather-only vs scatter row shuffle (§4.2): the two formulations of
+// Algorithm 1's middle pass.
+func BenchmarkAblationGatherVsScatter(b *testing.B) {
+	for _, sh := range [][2]int{{512, 512}, {384, 768}} {
+		b.Run(fmt.Sprintf("scatter-%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			benchC2RVariant(b, Scatter, sh[0], sh[1], 1)
+		})
+		b.Run(fmt.Sprintf("gather-%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			benchC2RVariant(b, Gather, sh[0], sh[1], 1)
+		})
+	}
+}
+
+// Cache-aware coarse/fine rotation + cycle-following row permute (§4.6,
+// §4.7) vs the naive per-column passes.
+func BenchmarkAblationCacheAwareColumnOps(b *testing.B) {
+	for _, sh := range [][2]int{{768, 768}, {1024, 512}} {
+		b.Run(fmt.Sprintf("naive-%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			benchC2RVariant(b, Gather, sh[0], sh[1], 1)
+		})
+		b.Run(fmt.Sprintf("cacheaware-%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			benchC2RVariant(b, CacheAware, sh[0], sh[1], 1)
+		})
+	}
+}
+
+// Skinny fused band sweeps (§6.1) vs the general engines on AoS shapes.
+func BenchmarkAblationSkinny(b *testing.B) {
+	m, n := 100_000, 8
+	for _, v := range []Variant{Gather, CacheAware, Skinny} {
+		b.Run(v.String(), func(b *testing.B) {
+			benchC2RVariant(b, v, m, n, 1)
+		})
+	}
+}
+
+// Rotation primitives (§4.6): per-element strided rotation vs whole
+// sub-row chunk rotation with analytic cycles.
+func BenchmarkAblationRotate(b *testing.B) {
+	m, n := 2048, 512
+	data := make([]uint64, m*n)
+	b.Run("naive-per-column", func(b *testing.B) {
+		b.SetBytes(int64(2 * m * n * 8))
+		for i := 0; i < b.N; i++ {
+			rotateColumnsGather(data, m, n, func(j int) int { return j }, 1)
+		}
+	})
+	b.Run("coarse-fine", func(b *testing.B) {
+		b.SetBytes(int64(2 * m * n * 8))
+		for i := 0; i < b.N; i++ {
+			rotateColumnsCacheAware(data, m, n, func(j int) int { return j }, DefaultBlockW, 1)
+		}
+	})
+}
+
+// Row permutation (§4.7): per-column gather vs whole-sub-row cycle
+// following.
+func BenchmarkAblationRowPermute(b *testing.B) {
+	m, n := 2048, 512
+	plan := cr.NewPlan(m, n)
+	data := make([]uint64, m*n)
+	b.Run("naive-per-column", func(b *testing.B) {
+		b.SetBytes(int64(2 * m * n * 8))
+		for i := 0; i < b.N; i++ {
+			rowPermuteGatherNaive(data, m, n, plan.Q, 1)
+		}
+	})
+	b.Run("cycle-following", func(b *testing.B) {
+		b.SetBytes(int64(2 * m * n * 8))
+		for i := 0; i < b.N; i++ {
+			rowPermuteCycles(data, m, n, plan.Q, DefaultBlockW, 1)
+		}
+	})
+}
+
+// Sub-row width of the cache-aware column operations (§4.6): one cache
+// line is the paper's choice; wider blocks trade fine-phase band size for
+// fewer, longer moves.
+func BenchmarkAblationBlockW(b *testing.B) {
+	m, n := 1024, 1024
+	for _, bw := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("bw%d", bw), func(b *testing.B) {
+			plan := cr.NewPlan(m, n)
+			data := make([]uint64, m*n)
+			b.SetBytes(int64(2 * m * n * 8))
+			for i := 0; i < b.N; i++ {
+				C2R(data, plan, Opts{Variant: CacheAware, BlockW: bw, Workers: 1})
+			}
+		})
+	}
+}
+
+// Parallel scaling of the decomposed passes (perfect load balance claim):
+// compare 1 worker against GOMAXPROCS workers.
+func BenchmarkAblationWorkers(b *testing.B) {
+	for _, w := range []int{1, 0} {
+		name := "gomaxprocs"
+		if w == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchC2RVariant(b, CacheAware, 1024, 768, w)
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"inplace/internal/cr"
+	"inplace/internal/parallel"
+	"inplace/internal/perm"
+)
+
+// This file implements the cache-aware column operations of §4.6 and
+// §4.7. Column rotations are split into a coarse phase — rotating whole
+// cache-line-wide sub-rows by a per-group common amount via the analytic
+// rotation cycles — and a fine phase that applies the small residual
+// rotations with a single forward sweep over bounded-lookahead bands.
+// The row permute moves whole sub-rows along precomputed cycles of q.
+
+// c2rCacheAware composes the C2R transpose from cache-aware passes: the
+// §5.2 GPU formulation. The column shuffle is factored into the rotation
+// p_j and row permutation q (Equations 32–33).
+func c2rCacheAware[T any](data []T, p *cr.Plan, o Opts) {
+	w := o.blockW()
+	if !p.Coprime {
+		rotateColumnsCacheAware(data, p.M, p.N, p.Rot, w, o.Workers)
+	}
+	rowShuffleScatterInc(data, p, o.Workers)
+	rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return j }, w, o.Workers)
+	rowPermuteCycles(data, p.M, p.N, p.Q, w, o.Workers)
+}
+
+// r2cCacheAware inverts the cache-aware C2R pass by pass (§4.3).
+func r2cCacheAware[T any](data []T, p *cr.Plan, o Opts) {
+	w := o.blockW()
+	rowPermuteCycles(data, p.M, p.N, p.QInv, w, o.Workers)
+	rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return -j }, w, o.Workers)
+	rowShuffleGatherDInc(data, p, o.Workers)
+	if !p.Coprime {
+		rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return -p.Rot(j) }, w, o.Workers)
+	}
+}
+
+// rotateColumnsCacheAware rotates column j up by amount(j) for every
+// column, processing groups of up to blockW adjacent columns together:
+// a coarse whole-sub-row rotation by a group-common amount followed by a
+// fine forward sweep applying the bounded residuals. Groups are
+// independent and processed in parallel.
+func rotateColumnsCacheAware[T any](data []T, m, n int, amount func(j int) int, blockW, workers int) {
+	if m <= 1 || n == 0 {
+		return
+	}
+	groups := (n + blockW - 1) / blockW
+	parallel.For(groups, workers, func(_, glo, ghi int) {
+		am := make([]int, blockW)
+		res := make([]int, blockW)
+		spare := make([]T, blockW)
+		var saved []T
+		for g := glo; g < ghi; g++ {
+			j0 := g * blockW
+			j1 := j0 + blockW
+			if j1 > n {
+				j1 = n
+			}
+			w := j1 - j0
+			for j := j0; j < j1; j++ {
+				r := amount(j) % m
+				if r < 0 {
+					r += m
+				}
+				am[j-j0] = r
+			}
+			// Pick the coarse amount so that every residual
+			// (am - k) mod m stays below the band bound. The paper's
+			// rotation amount functions are monotone across a group, so
+			// either endpoint works; fall back to per-column rotation
+			// otherwise (only possible for degenerate tiny m).
+			band := 0
+			ok := false
+			var k int
+			for _, cand := range []int{am[0], am[w-1]} {
+				k = cand
+				band = 0
+				ok = true
+				for jj := 0; jj < w; jj++ {
+					r := am[jj] - k
+					if r < 0 {
+						r += m
+					}
+					res[jj] = r
+					if r > band {
+						band = r
+					}
+				}
+				if band < m && band <= 2*blockW {
+					break
+				}
+				ok = false
+			}
+			if !ok {
+				// Degenerate group: rotate each column independently.
+				for jj := 0; jj < w; jj++ {
+					perm.RotateStrided(data, j0+jj, n, m, am[jj])
+				}
+				continue
+			}
+			if k != 0 {
+				perm.RotateChunksStrided(data, j0, n, w, m, k, spare)
+			}
+			if band == 0 {
+				continue
+			}
+			// Fine phase: forward sweep, out[i][j] = in[(i+res)%m][j].
+			// Writing row i only consumes rows >= i, except wrapped reads
+			// near the bottom, which come from the saved head band.
+			if cap(saved) < band*w {
+				saved = make([]T, band*w)
+			}
+			saved = saved[:band*w]
+			for r := 0; r < band; r++ {
+				copy(saved[r*w:r*w+w], data[r*n+j0:r*n+j1])
+			}
+			for i := 0; i < m; i++ {
+				row := data[i*n+j0 : i*n+j1]
+				for jj := 0; jj < w; jj++ {
+					sr := i + res[jj]
+					if sr < m {
+						row[jj] = data[sr*n+j0+jj]
+					} else {
+						row[jj] = saved[(sr-m)*w+jj]
+					}
+				}
+			}
+		}
+	})
+}
+
+// rowPermuteCycles permutes whole rows, out[i] = in[permf(i)], by
+// following the cycles of the permutation with whole-sub-row moves
+// (§4.7). Wide matrices parallelize across column groups; narrow ones
+// across cycles.
+func rowPermuteCycles[T any](data []T, m, n int, permf func(i int) int, blockW, workers int) {
+	if m <= 1 || n == 0 {
+		return
+	}
+	p := perm.FromFunc(m, permf)
+	leaders, lengths := p.Leaders()
+	if len(leaders) == 0 {
+		return
+	}
+	nw := parallel.Workers(workers)
+	if n >= nw*blockW || len(leaders) == 1 {
+		// Wide: split columns into groups; every worker walks all cycles
+		// over its own column range.
+		groups := (n + blockW - 1) / blockW
+		parallel.For(groups, workers, func(_, glo, ghi int) {
+			spare := make([]T, blockW)
+			for g := glo; g < ghi; g++ {
+				j0 := g * blockW
+				j1 := j0 + blockW
+				if j1 > n {
+					j1 = n
+				}
+				perm.GatherChunksStrided(data, j0, n, j1-j0, p, leaders, lengths, spare)
+			}
+		})
+		return
+	}
+	// Narrow: distribute whole cycles across workers; each moves full
+	// rows.
+	parallel.For(len(leaders), workers, func(_, lo, hi int) {
+		spare := make([]T, n)
+		perm.GatherChunksStrided(data, 0, n, n, p, leaders[lo:hi], lengths[lo:hi], spare)
+	})
+}
+
+// Pass entry points exported for pass-level profiling and the ablation
+// harness in cmd and bench code.
+
+// PassRotatePre runs the C2R pre-rotation pass in isolation.
+func PassRotatePre[T any](data []T, p *cr.Plan, blockW, workers int) {
+	rotateColumnsCacheAware(data, p.M, p.N, p.Rot, blockW, workers)
+}
+
+// PassRowShuffle runs the C2R row shuffle pass in isolation.
+func PassRowShuffle[T any](data []T, p *cr.Plan, workers int) {
+	rowShuffleScatterInc(data, p, workers)
+}
+
+// PassRotateP runs the column-shuffle rotation component in isolation.
+func PassRotateP[T any](data []T, p *cr.Plan, blockW, workers int) {
+	rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return j }, blockW, workers)
+}
+
+// PassRowPermute runs the column-shuffle row-permutation component in
+// isolation.
+func PassRowPermute[T any](data []T, p *cr.Plan, blockW, workers int) {
+	rowPermuteCycles(data, p.M, p.N, p.Q, blockW, workers)
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"inplace/internal/cr"
+)
+
+var allVariants = []Variant{Scatter, Gather, CacheAware, Skinny}
+
+func seqSlice(n int) []int {
+	x := make([]int, n)
+	for i := range x {
+		x[i] = i
+	}
+	return x
+}
+
+func equalSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOutOfPlaceOracle(t *testing.T) {
+	src := seqSlice(6) // 2x3: [[0 1 2], [3 4 5]]
+	dst := make([]int, 6)
+	OutOfPlace(dst, src, 2, 3)
+	want := []int{0, 3, 1, 4, 2, 5}
+	if !equalSlices(dst, want) {
+		t.Fatalf("OutOfPlace = %v, want %v", dst, want)
+	}
+}
+
+func TestOutOfPlacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	OutOfPlace(make([]int, 5), make([]int, 6), 2, 3)
+}
+
+// Theorem 1: the C2R gather's row-major linearization equals the
+// transpose's row-major linearization.
+func TestTheorem1GatherC2REqualsTranspose(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		for n := 1; n <= 16; n++ {
+			src := seqSlice(m * n)
+			viaGather := make([]int, m*n)
+			viaTranspose := make([]int, m*n)
+			GatherC2R(viaGather, src, m, n)
+			OutOfPlace(viaTranspose, src, m, n)
+			if !equalSlices(viaGather, viaTranspose) {
+				t.Fatalf("m=%d n=%d: C2R gather != transpose\n%v\n%v", m, n, viaGather, viaTranspose)
+			}
+		}
+	}
+}
+
+// GatherR2C inverts GatherC2R.
+func TestGatherR2CInvertsC2R(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		for n := 1; n <= 16; n++ {
+			src := seqSlice(m * n)
+			mid := make([]int, m*n)
+			back := make([]int, m*n)
+			GatherC2R(mid, src, m, n)
+			GatherR2C(back, mid, m, n)
+			if !equalSlices(back, src) {
+				t.Fatalf("m=%d n=%d: R2C did not invert C2R", m, n)
+			}
+		}
+	}
+}
+
+// Every engine variant must realize the transposition for every shape.
+func TestC2RAllVariantsExhaustive(t *testing.T) {
+	for _, v := range allVariants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			for m := 1; m <= 24; m++ {
+				for n := 1; n <= 24; n++ {
+					plan := cr.NewPlan(m, n)
+					data := seqSlice(m * n)
+					want := make([]int, m*n)
+					OutOfPlace(want, data, m, n)
+					C2R(data, plan, Opts{Variant: v, Workers: 1})
+					if !equalSlices(data, want) {
+						t.Fatalf("m=%d n=%d: C2R %v wrong\n got %v\nwant %v", m, n, v, data, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// R2C with plan (m, n) transposes a row-major n×m array into m×n.
+func TestR2CAllVariantsExhaustive(t *testing.T) {
+	for _, v := range allVariants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			for m := 1; m <= 24; m++ {
+				for n := 1; n <= 24; n++ {
+					plan := cr.NewPlan(m, n)
+					data := seqSlice(m * n) // row-major n×m input
+					want := make([]int, m*n)
+					OutOfPlace(want, data, n, m)
+					R2C(data, plan, Opts{Variant: v, Workers: 1})
+					if !equalSlices(data, want) {
+						t.Fatalf("m=%d n=%d: R2C %v wrong\n got %v\nwant %v", m, n, v, data, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// R2C must invert C2R exactly, variant by variant and across variants.
+func TestR2CInvertsC2RAcrossVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		plan := cr.NewPlan(m, n)
+		orig := make([]int, m*n)
+		for i := range orig {
+			orig[i] = rng.Int()
+		}
+		vc := allVariants[rng.Intn(len(allVariants))]
+		vr := allVariants[rng.Intn(len(allVariants))]
+		data := append([]int(nil), orig...)
+		C2R(data, plan, Opts{Variant: vc})
+		R2C(data, plan, Opts{Variant: vr})
+		if !equalSlices(data, orig) {
+			t.Fatalf("m=%d n=%d: R2C(%v) did not invert C2R(%v)", m, n, vr, vc)
+		}
+	}
+}
+
+// Parallel execution must agree with sequential for every variant.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, v := range allVariants {
+		for trial := 0; trial < 25; trial++ {
+			m := 1 + rng.Intn(80)
+			n := 1 + rng.Intn(80)
+			plan := cr.NewPlan(m, n)
+			seqData := make([]int, m*n)
+			for i := range seqData {
+				seqData[i] = rng.Int()
+			}
+			parData := append([]int(nil), seqData...)
+			C2R(seqData, plan, Opts{Variant: v, Workers: 1})
+			C2R(parData, plan, Opts{Variant: v, Workers: 7})
+			if !equalSlices(seqData, parData) {
+				t.Fatalf("m=%d n=%d %v: parallel C2R differs from sequential", m, n, v)
+			}
+			R2C(seqData, plan, Opts{Variant: v, Workers: 1})
+			R2C(parData, plan, Opts{Variant: v, Workers: 5})
+			if !equalSlices(seqData, parData) {
+				t.Fatalf("m=%d n=%d %v: parallel R2C differs from sequential", m, n, v)
+			}
+		}
+	}
+}
+
+// Skinny shapes large enough to trigger the banded sweeps (rather than
+// the general fallback) must still be exact.
+func TestSkinnyBandedPath(t *testing.T) {
+	shapes := [][2]int{
+		{4096, 2}, {4097, 3}, {5000, 4}, {6000, 7}, {4100, 8},
+		{9973, 5}, {8192, 16}, {7777, 31}, {5120, 32}, {4099, 24},
+	}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		plan := cr.NewPlan(m, n)
+		if !skinnyViable(plan) {
+			t.Fatalf("shape %dx%d should be skinny-viable", m, n)
+		}
+		data := seqSlice(m * n)
+		want := make([]int, m*n)
+		OutOfPlace(want, data, m, n)
+		C2R(data, plan, Opts{Variant: Skinny, Workers: 4})
+		if !equalSlices(data, want) {
+			t.Fatalf("%dx%d: skinny C2R wrong", m, n)
+		}
+		R2C(data, plan, Opts{Variant: Skinny, Workers: 4})
+		orig := seqSlice(m * n)
+		if !equalSlices(data, orig) {
+			t.Fatalf("%dx%d: skinny R2C did not invert", m, n)
+		}
+	}
+}
+
+// The cache-aware variant with tiny and odd block widths must stay exact.
+func TestCacheAwareBlockWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, bw := range []int{1, 2, 3, 5, 8, 13, 64} {
+		for trial := 0; trial < 10; trial++ {
+			m := 1 + rng.Intn(60)
+			n := 1 + rng.Intn(60)
+			plan := cr.NewPlan(m, n)
+			data := seqSlice(m * n)
+			want := make([]int, m*n)
+			OutOfPlace(want, data, m, n)
+			C2R(data, plan, Opts{Variant: CacheAware, BlockW: bw, Workers: 3})
+			if !equalSlices(data, want) {
+				t.Fatalf("m=%d n=%d bw=%d: cache-aware C2R wrong", m, n, bw)
+			}
+			R2C(data, plan, Opts{Variant: CacheAware, BlockW: bw, Workers: 3})
+			if !equalSlices(data, seqSlice(m*n)) {
+				t.Fatalf("m=%d n=%d bw=%d: cache-aware R2C wrong", m, n, bw)
+			}
+		}
+	}
+}
+
+// Degenerate shapes: single row, single column, single element, square.
+func TestDegenerateShapes(t *testing.T) {
+	for _, v := range allVariants {
+		for _, sh := range [][2]int{{1, 1}, {1, 17}, {17, 1}, {8, 8}, {1, 2}, {2, 1}} {
+			m, n := sh[0], sh[1]
+			plan := cr.NewPlan(m, n)
+			data := seqSlice(m * n)
+			want := make([]int, m*n)
+			OutOfPlace(want, data, m, n)
+			C2R(data, plan, Opts{Variant: v})
+			if !equalSlices(data, want) {
+				t.Fatalf("%dx%d %v: degenerate C2R wrong: %v", m, n, v, data)
+			}
+		}
+	}
+}
+
+func TestEngineLengthPanics(t *testing.T) {
+	plan := cr.NewPlan(3, 4)
+	for _, f := range []func(){
+		func() { C2R(make([]int, 11), plan, Opts{}) },
+		func() { R2C(make([]int, 13), plan, Opts{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on bad buffer length")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUnknownVariantPanics(t *testing.T) {
+	plan := cr.NewPlan(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown variant")
+		}
+	}()
+	C2R(make([]int, 4), plan, Opts{Variant: Variant(99)})
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[Variant]string{
+		Scatter: "scatter", Gather: "gather",
+		CacheAware: "cache-aware", Skinny: "skinny",
+		Variant(42): "Variant(42)",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), v.String(), s)
+		}
+	}
+}
+
+// Different element types: the engines are generic.
+func TestGenericElementTypes(t *testing.T) {
+	m, n := 5, 8
+	plan := cr.NewPlan(m, n)
+
+	f := make([]float64, m*n)
+	for i := range f {
+		f[i] = float64(i) * 1.5
+	}
+	wantF := make([]float64, m*n)
+	OutOfPlace(wantF, f, m, n)
+	C2R(f, plan, Opts{Variant: Gather})
+	for i := range f {
+		if f[i] != wantF[i] {
+			t.Fatalf("float64 transpose wrong at %d", i)
+		}
+	}
+
+	type pair struct{ a, b int32 }
+	ps := make([]pair, m*n)
+	for i := range ps {
+		ps[i] = pair{int32(i), int32(-i)}
+	}
+	wantP := make([]pair, m*n)
+	OutOfPlace(wantP, ps, m, n)
+	C2R(ps, plan, Opts{Variant: CacheAware})
+	for i := range ps {
+		if ps[i] != wantP[i] {
+			t.Fatalf("struct transpose wrong at %d", i)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"inplace/internal/cr"
+)
+
+// Variant selects an execution strategy for the in-place transposition
+// engines. All variants compute the identical permutation; they differ in
+// pass structure and memory access patterns.
+type Variant int
+
+const (
+	// Scatter is Algorithm 1 verbatim: gather pre-rotation, scatter row
+	// shuffle, gather column shuffle.
+	Scatter Variant = iota
+	// Gather is the gather-only formulation of §4.2/§5.1 using the
+	// closed-form inverse d'^{-1}: the parallel CPU implementation.
+	Gather
+	// CacheAware is the §5.2 formulation: gather-only row shuffle plus
+	// cache-aware coarse/fine column rotations and a cycle-following
+	// whole-sub-row row permute.
+	CacheAware
+	// Skinny is the §6.1 specialization for matrices with a very small
+	// column count: fused band gathers and whole-row cycle following.
+	Skinny
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Scatter:
+		return "scatter"
+	case Gather:
+		return "gather"
+	case CacheAware:
+		return "cache-aware"
+	case Skinny:
+		return "skinny"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Opts configures an engine invocation.
+type Opts struct {
+	// Workers is the number of goroutines to use; 0 means GOMAXPROCS.
+	Workers int
+	// Variant selects the pass structure; the zero value is Scatter
+	// (Algorithm 1).
+	Variant Variant
+	// BlockW is the sub-row width (in elements) used by the cache-aware
+	// passes; 0 selects a width spanning a 64-byte cache line of 8-byte
+	// elements.
+	BlockW int
+}
+
+// DefaultBlockW is the default cache-aware sub-row width: eight elements
+// span a 64-byte cache line of 64-bit values.
+const DefaultBlockW = 8
+
+func (o Opts) blockW() int {
+	if o.BlockW > 0 {
+		return o.BlockW
+	}
+	return DefaultBlockW
+}
+
+// C2R performs the in-place C2R transposition of the flat row-major
+// m×n array described by plan: afterwards data holds the row-major n×m
+// transpose (Theorem 1). len(data) must equal plan.M*plan.N.
+func C2R[T any](data []T, plan *cr.Plan, o Opts) {
+	if len(data) != plan.M*plan.N {
+		panic(fmt.Sprintf("core: C2R buffer length %d does not match %v", len(data), plan))
+	}
+	switch o.Variant {
+	case Scatter:
+		c2rScatter(data, plan, o)
+	case Gather:
+		c2rGather(data, plan, o)
+	case CacheAware:
+		c2rCacheAware(data, plan, o)
+	case Skinny:
+		c2rSkinny(data, plan, o)
+	default:
+		panic("core: unknown variant " + o.Variant.String())
+	}
+}
+
+// R2C performs the in-place R2C transposition, the exact inverse of C2R:
+// if data holds a row-major n×m array, R2C with an m×n plan leaves data
+// holding the row-major m×n transpose.
+func R2C[T any](data []T, plan *cr.Plan, o Opts) {
+	if len(data) != plan.M*plan.N {
+		panic(fmt.Sprintf("core: R2C buffer length %d does not match %v", len(data), plan))
+	}
+	switch o.Variant {
+	case Scatter:
+		r2cScatter(data, plan, o)
+	case Gather:
+		r2cGather(data, plan, o)
+	case CacheAware:
+		r2cCacheAware(data, plan, o)
+	case Skinny:
+		r2cSkinny(data, plan, o)
+	default:
+		panic("core: unknown variant " + o.Variant.String())
+	}
+}
+
+// c2rScatter is Algorithm 1: pre-rotate (if gcd > 1), scatter row
+// shuffle, gather column shuffle.
+func c2rScatter[T any](data []T, p *cr.Plan, o Opts) {
+	if !p.Coprime {
+		rotateColumnsGather(data, p.M, p.N, p.Rot, o.Workers)
+	}
+	rowShuffleScatter(data, p, o.Workers)
+	columnShuffleGather(data, p, o.Workers)
+}
+
+// c2rGather is the gather-only formulation (§5.1): the row shuffle uses
+// the closed-form inverse d'^{-1} so every pass is a gather.
+func c2rGather[T any](data []T, p *cr.Plan, o Opts) {
+	if !p.Coprime {
+		rotateColumnsGather(data, p.M, p.N, p.Rot, o.Workers)
+	}
+	rowShuffleGather(data, p, o.Workers)
+	columnShuffleGather(data, p, o.Workers)
+}
+
+// r2cScatter inverts Algorithm 1 pass by pass: the column shuffle
+// s' = p∘q inverts as a q^{-1} row permute followed by a p^{-1} rotation,
+// the row shuffle inverts as a gather with d', and the pre-rotation
+// inverts as a gather with r^{-1} (§4.3).
+func r2cScatter[T any](data []T, p *cr.Plan, o Opts) {
+	rowPermuteGatherNaive(data, p.M, p.N, p.QInv, o.Workers)
+	rotateColumnsGather(data, p.M, p.N, func(j int) int { return -j }, o.Workers)
+	rowShuffleGatherD(data, p, o.Workers)
+	if !p.Coprime {
+		rotateColumnsGather(data, p.M, p.N, func(j int) int { return -p.Rot(j) }, o.Workers)
+	}
+}
+
+// r2cGather matches r2cScatter; the R2C direction is naturally
+// gather-only (§4.3), so the two variants coincide structurally.
+func r2cGather[T any](data []T, p *cr.Plan, o Opts) {
+	r2cScatter(data, p, o)
+}

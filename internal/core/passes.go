@@ -1,0 +1,238 @@
+package core
+
+import (
+	"inplace/internal/cr"
+	"inplace/internal/parallel"
+)
+
+// This file implements the elementary permutation passes of Algorithm 1
+// and its gather-only variant (§4.2, §4.3, §5.1). Each pass permutes the
+// flat row-major m×n buffer along rows or columns only; engines compose
+// passes into full C2R/R2C transpositions.
+//
+// Column passes parallelize over columns and row passes over rows; each
+// worker permutes through its own O(max(m,n)) scratch buffer, preserving
+// the paper's auxiliary-storage bound per execution lane.
+
+// scratch hands each worker a zeroed-on-demand buffer of size max(m, n).
+type scratch[T any] struct {
+	bufs [][]T
+}
+
+func newScratch[T any](workers, size int) *scratch[T] {
+	s := &scratch[T]{bufs: make([][]T, workers)}
+	for i := range s.bufs {
+		s.bufs[i] = make([]T, size)
+	}
+	return s
+}
+
+// rotateColumnsGather applies a per-column rotation as a gather:
+// column j becomes col'[i] = col[(i + amount(j)) mod m]. This is the
+// naive formulation; see cacheaware.go for the coarse/fine version.
+func rotateColumnsGather[T any](data []T, m, n int, amount func(j int) int, workers int) {
+	sc := newScratch[T](parallel.Workers(workers), m)
+	parallel.For(n, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for j := lo; j < hi; j++ {
+			r := amount(j) % m
+			if r < 0 {
+				r += m
+			}
+			if r == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				src := i + r
+				if src >= m {
+					src -= m
+				}
+				tmp[i] = data[src*n+j]
+			}
+			for i := 0; i < m; i++ {
+				data[i*n+j] = tmp[i]
+			}
+		}
+	})
+}
+
+// rowShuffleScatter is the row shuffle of Algorithm 1: each row i is
+// scattered through a temporary vector with indices d'_i(j) (Equation 24).
+func rowShuffleScatter[T any](data []T, p *cr.Plan, workers int) {
+	m, n := p.M, p.N
+	sc := newScratch[T](parallel.Workers(workers), n)
+	parallel.For(m, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for i := lo; i < hi; i++ {
+			row := data[i*n : i*n+n]
+			for j, v := range row {
+				tmp[p.DPrime(i, j)] = v
+			}
+			copy(row, tmp[:n])
+		}
+	})
+}
+
+// rowShuffleGather is the gather formulation of the row shuffle using the
+// closed-form inverse d'^{-1}_i (Equation 31), preferred on hardware where
+// gathers outperform scatters (§4.2).
+func rowShuffleGather[T any](data []T, p *cr.Plan, workers int) {
+	m, n := p.M, p.N
+	sc := newScratch[T](parallel.Workers(workers), n)
+	parallel.For(m, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for i := lo; i < hi; i++ {
+			row := data[i*n : i*n+n]
+			for j := range tmp[:n] {
+				tmp[j] = row[p.DPrimeInv(i, j)]
+			}
+			copy(row, tmp[:n])
+		}
+	})
+}
+
+// rowShuffleScatterInc is rowShuffleScatter with fully incremental index
+// arithmetic: walking j in order, the scatter destination
+// d'_i(j) = ((i + ⌊j/b⌋) mod m + j*m) mod n advances by constant steps
+// (j*m mod n grows by m mod n; the rotation term bumps every b columns),
+// so the inner loop performs no division at all — the strongest form of
+// the §4.4 strength reduction, available to passes that visit indices in
+// order.
+func rowShuffleScatterInc[T any](data []T, p *cr.Plan, workers int) {
+	m, n := p.M, p.N
+	mModN := m % n
+	b := p.B
+	sc := newScratch[T](parallel.Workers(workers), n)
+	parallel.For(m, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for i := lo; i < hi; i++ {
+			row := data[i*n : i*n+n]
+			jb := 0     // j mod b
+			jm := 0     // (j*m) mod n
+			srMod := i  // (i + ⌊j/b⌋) mod m
+			dm := i % n // srMod mod n
+			for j := 0; j < n; j++ {
+				d := dm + jm
+				if d >= n {
+					d -= n
+				}
+				tmp[d] = row[j]
+				jm += mModN
+				if jm >= n {
+					jm -= n
+				}
+				jb++
+				if jb == b {
+					jb = 0
+					srMod++
+					dm++
+					if srMod == m {
+						srMod = 0
+						dm = 0
+					} else if dm == n {
+						dm = 0
+					}
+				}
+			}
+			copy(row, tmp[:n])
+		}
+	})
+}
+
+// rowShuffleGatherD gathers each row with d'_i directly; because gathering
+// with a permutation's forward map applies its inverse, this is the row
+// shuffle of the R2C transpose (§4.3).
+func rowShuffleGatherD[T any](data []T, p *cr.Plan, workers int) {
+	m, n := p.M, p.N
+	sc := newScratch[T](parallel.Workers(workers), n)
+	parallel.For(m, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for i := lo; i < hi; i++ {
+			row := data[i*n : i*n+n]
+			for j := range tmp[:n] {
+				tmp[j] = row[p.DPrime(i, j)]
+			}
+			copy(row, tmp[:n])
+		}
+	})
+}
+
+// rowShuffleGatherDInc is rowShuffleGatherD with the same incremental
+// index arithmetic as rowShuffleScatterInc: the R2C row shuffle gathers
+// through d'_i, whose values advance by constant steps in j.
+func rowShuffleGatherDInc[T any](data []T, p *cr.Plan, workers int) {
+	m, n := p.M, p.N
+	mModN := m % n
+	b := p.B
+	sc := newScratch[T](parallel.Workers(workers), n)
+	parallel.For(m, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for i := lo; i < hi; i++ {
+			row := data[i*n : i*n+n]
+			jb := 0
+			jm := 0
+			srMod := i
+			dm := i % n
+			for j := 0; j < n; j++ {
+				d := dm + jm
+				if d >= n {
+					d -= n
+				}
+				tmp[j] = row[d]
+				jm += mModN
+				if jm >= n {
+					jm -= n
+				}
+				jb++
+				if jb == b {
+					jb = 0
+					srMod++
+					dm++
+					if srMod == m {
+						srMod = 0
+						dm = 0
+					} else if dm == n {
+						dm = 0
+					}
+				}
+			}
+			copy(row, tmp[:n])
+		}
+	})
+}
+
+// columnShuffleGather applies the C2R column shuffle as a direct gather
+// with s'_j (Equation 26), the single-pass formulation of Algorithm 1.
+func columnShuffleGather[T any](data []T, p *cr.Plan, workers int) {
+	m, n := p.M, p.N
+	sc := newScratch[T](parallel.Workers(workers), m)
+	parallel.For(n, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for j := lo; j < hi; j++ {
+			for i := 0; i < m; i++ {
+				tmp[i] = data[p.SPrime(i, j)*n+j]
+			}
+			for i := 0; i < m; i++ {
+				data[i*n+j] = tmp[i]
+			}
+		}
+	})
+}
+
+// rowPermuteGatherNaive permutes whole rows, out[i] = in[perm(i)], by
+// gathering column-by-column. The cache-aware engine replaces this with
+// whole-sub-row cycle following (§4.7).
+func rowPermuteGatherNaive[T any](data []T, m, n int, perm func(i int) int, workers int) {
+	sc := newScratch[T](parallel.Workers(workers), m)
+	parallel.For(n, workers, func(w, lo, hi int) {
+		tmp := sc.bufs[w]
+		for j := lo; j < hi; j++ {
+			for i := 0; i < m; i++ {
+				tmp[i] = data[perm(i)*n+j]
+			}
+			for i := 0; i < m; i++ {
+				data[i*n+j] = tmp[i]
+			}
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"inplace/internal/cr"
+	"inplace/internal/parallel"
+)
+
+// This file implements the §6.1 specialization for skinny matrices — the
+// shapes produced by Array-of-Structures ↔ Structure-of-Arrays
+// conversion, where one dimension (the structure size) is tiny and the
+// other (the element count) is huge.
+//
+// With n small, every column operation of the decomposition only ever
+// reaches a bounded number of rows ahead of (or behind) the row being
+// written: the pre-rotation looks ahead at most c-1 rows and the p_j
+// rotation at most n-1 rows. Each pass therefore becomes a single
+// in-place sweep over a sliding band of at most n rows — the entire
+// working set of a step fits in cache (the paper's "all column operations
+// in on-chip memory") — and the pre-rotation fuses with the row shuffle
+// into one pass. The remaining whole-row permutation q moves contiguous
+// n-element rows along its cycles.
+//
+// All inner loops run on incremental index arithmetic: the d' scatter
+// destination and the rotation amounts advance by constant steps per
+// column, so the sweeps perform no division at all (a stronger form of
+// the paper's §4.4 strength reduction, available because the skinny
+// passes visit indices in order).
+
+// skinnyMaxBand bounds the look-ahead band for which the fused sweeps are
+// used; beyond it (or when the band would reach a sizable fraction of m)
+// the general gather engine takes over.
+const skinnyMaxBand = 512
+
+// skinnyViable reports whether the banded sweeps apply to the plan.
+func skinnyViable(p *cr.Plan) bool {
+	band := p.N - 1
+	return band <= skinnyMaxBand && band*4 < p.M
+}
+
+// c2rSkinny performs the C2R transpose with the skinny pass structure:
+//
+//  1. fused pre-rotation + row shuffle: a forward band sweep scattering
+//     tmp[d'_i(j)] = in[(i + ⌊j/b⌋) mod m][j] with look-ahead c-1;
+//  2. the p_j rotation as a forward band sweep with look-ahead n-1;
+//  3. the row permutation q by whole-row cycle following.
+func c2rSkinny[T any](data []T, p *cr.Plan, o Opts) {
+	if !skinnyViable(p) {
+		c2rCacheAware(data, p, o)
+		return
+	}
+	m, n := p.M, p.N
+	mModN := m % n
+
+	// Pass 1. For each destination row i the scatter destination
+	// d'_i(j) = (srcRowMod + j*m) mod n and the source row i + ⌊j/b⌋
+	// both advance incrementally in j.
+	bandForward(data, m, n, p.C-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+		jb := 0     // j mod b
+		jm := 0     // (j*m) mod n
+		sr := i     // unreduced source row i + ⌊j/b⌋
+		srMod := i  // source row mod m
+		dm := i % n // source row mod m, reduced mod n
+		for j := 0; j < n; j++ {
+			d := dm + jm // ((i+⌊j/b⌋) mod m + j*m) mod n, both terms < n
+			if d >= n {
+				d -= n
+			}
+			tmp[d] = br.read(sr, j)
+			// advance to j+1
+			jm += mModN
+			if jm >= n {
+				jm -= n
+			}
+			jb++
+			if jb == p.B {
+				jb = 0
+				sr++
+				srMod++
+				dm++
+				if srMod == m {
+					srMod = 0
+					dm = 0
+				} else if dm == n {
+					dm = 0
+				}
+			}
+		}
+	})
+
+	// Pass 2: out[i][j] = in[(i+j) mod m][j].
+	bandForward(data, m, n, n-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+		for j := 0; j < n; j++ {
+			tmp[j] = br.read(i+j, j)
+		}
+	})
+
+	// Pass 3: whole-row gather with q.
+	rowPermuteCycles(data, m, n, p.Q, n, o.Workers)
+}
+
+// r2cSkinny inverts c2rSkinny pass by pass:
+//
+//  1. the row permutation q^{-1} by whole-row cycle following;
+//  2. the p^{-1} rotation as a backward band sweep with look-behind n-1;
+//  3. fused row shuffle + inverse pre-rotation: a backward band sweep
+//     gathering out[i][j] = in[(i - ⌊j/b⌋) mod m][(i + j*m) mod n]
+//     (substituting r = i - ⌊j/b⌋ into d'_r(j) collapses the rotation
+//     term, so the source column needs no inverse map at all).
+func r2cSkinny[T any](data []T, p *cr.Plan, o Opts) {
+	if !skinnyViable(p) {
+		r2cCacheAware(data, p, o)
+		return
+	}
+	m, n := p.M, p.N
+	mModN := m % n
+
+	rowPermuteCycles(data, m, n, p.QInv, n, o.Workers)
+
+	// Pass 2: out[i][j] = in[(i-j) mod m][j].
+	bandBackward(data, m, n, n-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+		for j := 0; j < n; j++ {
+			tmp[j] = br.read(i-j, j)
+		}
+	})
+
+	// Pass 3: fused gather; source column (i + j*m) mod n advances
+	// incrementally, source row i - ⌊j/b⌋ decrements every b columns.
+	bandBackward(data, m, n, p.C-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+		jb := 0
+		jm := i % n // (i + j*m) mod n at j = 0
+		sr := i     // unreduced source row i - rot
+		for j := 0; j < n; j++ {
+			tmp[j] = br.read(sr, jm)
+			jm += mModN
+			if jm >= n {
+				jm -= n
+			}
+			jb++
+			if jb == p.B {
+				jb = 0
+				sr--
+			}
+		}
+	})
+}
+
+// bandReader resolves banded row reads for one chunk of a sweep: rows
+// inside the chunk come from the live buffer, rows beyond its end (or
+// before its start, for backward sweeps) from the pre-pass snapshots.
+type bandReader[T any] struct {
+	data    []T
+	n       int
+	m       int
+	lo, hi  int
+	band    int
+	forward bool
+	outside []T // ahead (forward) or behind (backward) snapshot
+	wrap    []T // snapshot for the wrap-around band
+}
+
+// read returns element (sr mod m, col) as it was before the sweep began
+// overwriting rows outside the caller's frontier. sr is the unreduced row
+// index: within [i, i+band] for forward sweeps, [i-band, i] for backward.
+func (br *bandReader[T]) read(sr, col int) T {
+	if br.forward {
+		if sr < br.hi {
+			return br.data[sr*br.n+col]
+		}
+		if sr < br.m {
+			// outside holds rows [hi, hi+band).
+			return br.outside[(sr-br.hi)*br.n+col]
+		}
+		// wrap holds rows [0, band).
+		return br.wrap[(sr-br.m)*br.n+col]
+	}
+	if sr >= br.lo {
+		return br.data[sr*br.n+col]
+	}
+	if sr >= 0 {
+		// outside holds rows [lo-band, lo).
+		return br.outside[(sr-br.lo+br.band)*br.n+col]
+	}
+	// wrap holds rows [m-band, m); actual row is sr+m.
+	return br.wrap[(sr+br.band)*br.n+col]
+}
+
+// bandForward sweeps rows 0..m-1 upward in parallel chunks, calling
+// row(br, i, tmp) to produce each destination row into tmp before copying
+// it over row i. Sources must satisfy i <= srcRow <= i+band (mod m);
+// every chunk snapshots the band at its successor's start (and the global
+// head for the wrap-around) before the sweep begins.
+func bandForward[T any](data []T, m, n, band, workers int, row func(br *bandReader[T], i int, tmp []T)) {
+	if band < 0 {
+		band = 0
+	}
+	minChunk := band
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	bounds := parallel.Bounds(m, workers, minChunk)
+	nchunks := len(bounds) - 1
+	saved := make([][]T, nchunks)
+	if band > 0 {
+		for k := 0; k < nchunks; k++ {
+			buf := make([]T, band*n)
+			copy(buf, data[bounds[k]*n:(bounds[k]+band)*n])
+			saved[k] = buf
+		}
+	}
+	parallel.ForBounds(bounds, func(w, lo, hi int) {
+		br := &bandReader[T]{data: data, n: n, m: m, lo: lo, hi: hi, band: band, forward: true}
+		if band > 0 {
+			if w+1 < nchunks {
+				br.outside = saved[w+1]
+			}
+			br.wrap = saved[0]
+		}
+		tmp := make([]T, n)
+		for i := lo; i < hi; i++ {
+			row(br, i, tmp)
+			copy(data[i*n:i*n+n], tmp)
+		}
+	})
+}
+
+// bandBackward sweeps rows m-1..0 downward in parallel chunks. Sources
+// must satisfy i-band <= srcRow <= i (mod m); every chunk snapshots the
+// band just below its start (its predecessor's tail; the global tail for
+// the wrap-around).
+func bandBackward[T any](data []T, m, n, band, workers int, row func(br *bandReader[T], i int, tmp []T)) {
+	if band < 0 {
+		band = 0
+	}
+	minChunk := band
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	bounds := parallel.Bounds(m, workers, minChunk)
+	nchunks := len(bounds) - 1
+	saved := make([][]T, nchunks)
+	if band > 0 {
+		for k := 0; k < nchunks; k++ {
+			buf := make([]T, band*n)
+			copy(buf, data[(bounds[k+1]-band)*n:bounds[k+1]*n])
+			saved[k] = buf
+		}
+	}
+	parallel.ForBounds(bounds, func(w, lo, hi int) {
+		br := &bandReader[T]{data: data, n: n, m: m, lo: lo, hi: hi, band: band, forward: false}
+		if band > 0 {
+			if w > 0 {
+				// outside[(sr-lo)*n+col] with sr in [lo-band, lo):
+				// saved[w-1] holds rows [lo-band, lo), so shift its base
+				// by reslicing from index -(lo-band)... express via the
+				// reader's sr-lo offset: outside must be indexed with
+				// (sr-(lo-band)); store the slice so that
+				// (sr-lo+band) = sr-(lo-band) indexes it.
+				br.outside = saved[w-1]
+			}
+			br.wrap = saved[nchunks-1]
+		}
+		tmp := make([]T, n)
+		for i := hi - 1; i >= lo; i-- {
+			row(br, i, tmp)
+			copy(data[i*n:i*n+n], tmp)
+		}
+	})
+}

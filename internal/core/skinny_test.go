@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"inplace/internal/cr"
+)
+
+// Oracle for the band sweeps: apply the same per-row source function
+// out of place.
+func bandOracleForward(data []int, m, n, band int, src func(br *bandReader[int], i int, tmp []int)) []int {
+	snapshot := append([]int(nil), data...)
+	out := make([]int, len(data))
+	br := &bandReader[int]{data: snapshot, n: n, m: m, lo: 0, hi: m, band: band, forward: true}
+	// With lo=0, hi=m on an immutable snapshot, read() resolves
+	// in-range rows directly; wrapped rows need the wrap buffer.
+	br.wrap = snapshot[:imin(band, m)*n]
+	tmp := make([]int, n)
+	for i := 0; i < m; i++ {
+		src(br, i, tmp)
+		copy(out[i*n:i*n+n], tmp)
+	}
+	return out
+}
+
+func bandOracleBackward(data []int, m, n, band int, src func(br *bandReader[int], i int, tmp []int)) []int {
+	snapshot := append([]int(nil), data...)
+	out := make([]int, len(data))
+	br := &bandReader[int]{data: snapshot, n: n, m: m, lo: 0, hi: m, band: band, forward: false}
+	if band > 0 {
+		br.wrap = snapshot[(m-band)*n:]
+	}
+	tmp := make([]int, n)
+	for i := 0; i < m; i++ {
+		src(br, i, tmp)
+		copy(out[i*n:i*n+n], tmp)
+	}
+	return out
+}
+
+func imin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// The parallel in-place band sweeps must match the out-of-place oracle
+// for arbitrary banded source functions.
+func TestBandSweepsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 120; trial++ {
+		m := 8 + rng.Intn(200)
+		n := 1 + rng.Intn(12)
+		band := rng.Intn(imin(n+3, m-1))
+		workers := 1 + rng.Intn(6)
+
+		// Random banded gather: each (i, j) pulls from a random delta in
+		// [0, band] and a random column.
+		deltas := make([]int, n)
+		cols := make([]int, n)
+		for j := range deltas {
+			if band > 0 {
+				deltas[j] = rng.Intn(band + 1)
+			}
+			cols[j] = rng.Intn(n)
+		}
+		fwd := func(br *bandReader[int], i int, tmp []int) {
+			for j := 0; j < n; j++ {
+				tmp[j] = br.read(i+deltas[j], cols[j])
+			}
+		}
+		data := seqSlice(m * n)
+		want := bandOracleForward(data, m, n, band, fwd)
+		bandForward(data, m, n, band, workers, fwd)
+		if !equalSlices(data, want) {
+			t.Fatalf("trial %d: forward sweep m=%d n=%d band=%d workers=%d wrong", trial, m, n, band, workers)
+		}
+
+		bwd := func(br *bandReader[int], i int, tmp []int) {
+			for j := 0; j < n; j++ {
+				tmp[j] = br.read(i-deltas[j], cols[j])
+			}
+		}
+		data = seqSlice(m * n)
+		want = bandOracleBackward(data, m, n, band, bwd)
+		bandBackward(data, m, n, band, workers, bwd)
+		if !equalSlices(data, want) {
+			t.Fatalf("trial %d: backward sweep m=%d n=%d band=%d workers=%d wrong", trial, m, n, band, workers)
+		}
+	}
+}
+
+// The skinny fused passes must agree with the unfused general pipeline
+// on every viable shape (cross-engine equivalence at scale).
+func TestSkinnyEquivalentToGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		m := 4*n + 1 + rng.Intn(3000)
+		plan := cr.NewPlan(m, n)
+		if !skinnyViable(plan) {
+			t.Fatalf("%dx%d should be viable", m, n)
+		}
+		a := make([]int, m*n)
+		for i := range a {
+			a[i] = rng.Int()
+		}
+		b := append([]int(nil), a...)
+		C2R(a, plan, Opts{Variant: Skinny, Workers: 3})
+		C2R(b, plan, Opts{Variant: Gather, Workers: 1})
+		if !equalSlices(a, b) {
+			t.Fatalf("%dx%d: skinny C2R differs from gather", m, n)
+		}
+		R2C(a, plan, Opts{Variant: Skinny, Workers: 4})
+		R2C(b, plan, Opts{Variant: Gather, Workers: 1})
+		if !equalSlices(a, b) {
+			t.Fatalf("%dx%d: skinny R2C differs from gather", m, n)
+		}
+	}
+}
+
+// skinnyViable boundaries.
+func TestSkinnyViability(t *testing.T) {
+	if skinnyViable(cr.NewPlan(10, 8)) {
+		t.Error("10x8 must not be viable (band*4 >= m)")
+	}
+	if !skinnyViable(cr.NewPlan(64, 8)) {
+		t.Error("64x8 must be viable")
+	}
+	if skinnyViable(cr.NewPlan(1_000_000, skinnyMaxBand+2)) {
+		t.Error("band above skinnyMaxBand must not be viable")
+	}
+	// Non-viable shapes still transpose correctly via the fallback.
+	m, n := 10, 8
+	plan := cr.NewPlan(m, n)
+	data := seqSlice(m * n)
+	want := make([]int, m*n)
+	OutOfPlace(want, data, m, n)
+	C2R(data, plan, Opts{Variant: Skinny})
+	if !equalSlices(data, want) {
+		t.Fatal("skinny fallback wrong")
+	}
+}
+
+// Workers exceeding the chunkable row count must degrade gracefully.
+func TestBandSweepWorkerExcess(t *testing.T) {
+	m, n := 40, 8
+	plan := cr.NewPlan(m, n)
+	for _, workers := range []int{1, 7, 39, 40, 41, 1000} {
+		data := seqSlice(m * n)
+		want := make([]int, m*n)
+		OutOfPlace(want, data, m, n)
+		C2R(data, plan, Opts{Variant: Skinny, Workers: workers})
+		if !equalSlices(data, want) {
+			t.Fatalf("workers=%d: wrong result", workers)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package cr
+
+import "testing"
+
+// Ablation: arithmetic strength reduction (§4.4). The plan methods use
+// fixed-point reciprocals; the Ref functions use hardware division. The
+// benchmark loops walk (i, j) with wrapping counters so the harness adds
+// no division of its own.
+
+var benchSink int
+
+func walk(b *testing.B, m, n int, f func(i, j int) int) {
+	s, i, j := 0, 0, 0
+	for k := 0; k < b.N; k++ {
+		s += f(i, j)
+		j++
+		if j == n {
+			j = 0
+			i++
+			if i == m {
+				i = 0
+			}
+		}
+	}
+	benchSink = s
+}
+
+func BenchmarkAblationStrengthReductionDPrimeInv(b *testing.B) {
+	p := NewPlan(4999, 7001)
+	b.Run("strength-reduced", func(b *testing.B) {
+		walk(b, p.M, p.N, p.DPrimeInv)
+	})
+	b.Run("hardware-div", func(b *testing.B) {
+		walk(b, p.M, p.N, func(i, j int) int {
+			return RefDPrimeInv(p.M, p.N, p.C, p.A, p.B, p.AInvB, i, j)
+		})
+	})
+}
+
+func BenchmarkAblationStrengthReductionSPrime(b *testing.B) {
+	p := NewPlan(4999, 7001)
+	b.Run("strength-reduced", func(b *testing.B) {
+		walk(b, p.M, p.N, p.SPrime)
+	})
+	b.Run("hardware-div", func(b *testing.B) {
+		walk(b, p.M, p.N, func(i, j int) int {
+			return RefSPrime(p.M, p.N, p.C, p.A, p.B, i, j)
+		})
+	})
+}
+
+func BenchmarkPlanConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewPlan(1000+i%100, 2000+i%77)
+		benchSink += p.C
+	}
+}

@@ -1,0 +1,345 @@
+package cr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inplace/internal/mathutil"
+)
+
+const exhaustiveDim = 26
+
+func forAllShapes(t *testing.T, f func(t *testing.T, p *Plan)) {
+	t.Helper()
+	for m := 1; m <= exhaustiveDim; m++ {
+		for n := 1; n <= exhaustiveDim; n++ {
+			f(t, NewPlan(m, n))
+		}
+	}
+	// A few asymmetric and larger shapes, including prime and
+	// highly-composite dimensions.
+	for _, sh := range [][2]int{
+		{1, 97}, {97, 1}, {64, 48}, {48, 64}, {101, 103}, {100, 100},
+		{3, 1024}, {1024, 3}, {120, 84}, {84, 120}, {255, 256}, {256, 255},
+	} {
+		f(t, NewPlan(sh[0], sh[1]))
+	}
+}
+
+func TestPlanConstants(t *testing.T) {
+	p := NewPlan(4, 8)
+	if p.C != 4 || p.A != 1 || p.B != 2 {
+		t.Fatalf("plan constants wrong: %v", p)
+	}
+	if p.AInvB != 1 { // mmi(1, 2) = 1
+		t.Fatalf("AInvB = %d, want 1", p.AInvB)
+	}
+	if p.BInvA != 0 { // mmi(2, 1) = 0 by convention
+		t.Fatalf("BInvA = %d, want 0", p.BInvA)
+	}
+	if p.Coprime {
+		t.Fatal("4x8 must not be coprime")
+	}
+	if !NewPlan(3, 8).Coprime {
+		t.Fatal("3x8 must be coprime")
+	}
+	tr := p.Transposed()
+	if tr.M != 8 || tr.N != 4 {
+		t.Fatalf("Transposed = %v", tr)
+	}
+	if p.String() != "Plan(4x8 c=4 a=1 b=2)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestNewPlanPanics(t *testing.T) {
+	for _, sh := range [][2]int{{0, 3}, {3, 0}, {-1, 3}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlan(%d,%d) did not panic", sh[0], sh[1])
+				}
+			}()
+			NewPlan(sh[0], sh[1])
+		}()
+	}
+}
+
+func TestModularInverses(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		if p.B > 1 && (p.A*p.AInvB)%p.B != 1 {
+			t.Fatalf("%v: a*aInv mod b != 1", p)
+		}
+		if p.A > 1 && (p.B*p.BInvA)%p.A != 1 {
+			t.Fatalf("%v: b*bInv mod a != 1", p)
+		}
+	})
+}
+
+// Lemma 1: d_i(j) is periodic with period b.
+func TestLemma1Periodicity(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		for i := 0; i < p.M; i++ {
+			for j := 0; j+p.B < p.N; j++ {
+				if p.D(i, j) != p.D(i, j+p.B) {
+					t.Fatalf("%v: d_%d not periodic with b at j=%d", p, i, j)
+				}
+			}
+		}
+	})
+}
+
+// When m and n are coprime, d' degenerates to d (noted after Theorem 3).
+func TestCoprimeDPrimeEqualsD(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		if !p.Coprime {
+			return
+		}
+		for i := 0; i < p.M; i++ {
+			for j := 0; j < p.N; j++ {
+				if p.DPrime(i, j) != p.D(i, j) {
+					t.Fatalf("%v: coprime d' != d at (%d,%d)", p, i, j)
+				}
+			}
+		}
+	})
+}
+
+// Theorem 3: d'_i is a bijection on [0, n) for every fixed i.
+func TestTheorem3DPrimeBijective(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		seen := make([]bool, p.N)
+		for i := 0; i < p.M; i++ {
+			for k := range seen {
+				seen[k] = false
+			}
+			for j := 0; j < p.N; j++ {
+				v := p.DPrime(i, j)
+				if v < 0 || v >= p.N || seen[v] {
+					t.Fatalf("%v: d'_%d not bijective at j=%d (v=%d)", p, i, j, v)
+				}
+				seen[v] = true
+			}
+		}
+	})
+}
+
+// Equation 31: d'^{-1} is the exact inverse of d'.
+func TestDPrimeInverse(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		for i := 0; i < p.M; i++ {
+			for j := 0; j < p.N; j++ {
+				if p.DPrimeInv(i, p.DPrime(i, j)) != j {
+					t.Fatalf("%v: d'^{-1}(d'(%d)) != %d for row %d", p, j, j, i)
+				}
+				if p.DPrime(i, p.DPrimeInv(i, j)) != j {
+					t.Fatalf("%v: d'(d'^{-1}(%d)) != %d for row %d", p, j, j, i)
+				}
+			}
+		}
+	})
+}
+
+// §4.2: the column shuffle factors as s'_j = p_j ∘ q.
+func TestColumnShuffleFactorization(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		for j := 0; j < p.N; j++ {
+			for i := 0; i < p.M; i++ {
+				if p.PJ(p.Q(i), j) != p.SPrime(i, j) {
+					t.Fatalf("%v: p_j(q(%d)) != s'_%d(%d)", p, i, j, i)
+				}
+			}
+		}
+	})
+}
+
+// s'_j is a bijection on rows for every fixed column j.
+func TestSPrimeBijective(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		seen := make([]bool, p.M)
+		for j := 0; j < p.N; j++ {
+			for k := range seen {
+				seen[k] = false
+			}
+			for i := 0; i < p.M; i++ {
+				v := p.SPrime(i, j)
+				if v < 0 || v >= p.M || seen[v] {
+					t.Fatalf("%v: s'_%d not bijective at i=%d", p, j, i)
+				}
+				seen[v] = true
+			}
+		}
+	})
+}
+
+// Equation 34: q^{-1} is the exact inverse of q.
+func TestQInverse(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		for i := 0; i < p.M; i++ {
+			if p.QInv(p.Q(i)) != i {
+				t.Fatalf("%v: q^{-1}(q(%d)) != %d", p, i, i)
+			}
+			if p.Q(p.QInv(i)) != i {
+				t.Fatalf("%v: q(q^{-1}(%d)) != %d", p, i, i)
+			}
+		}
+	})
+}
+
+// Equations 35 and 36: the rotation inverses undo the rotations.
+func TestRotationInverses(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		for j := 0; j < p.N; j++ {
+			for i := 0; i < p.M; i++ {
+				if p.PJInv(p.PJ(i, j), j) != i {
+					t.Fatalf("%v: p^{-1}(p(%d)) != %d col %d", p, i, i, j)
+				}
+				if p.RInvGather(p.RGather(i, j), j) != i {
+					t.Fatalf("%v: r^{-1}(r(%d)) != %d col %d", p, i, i, j)
+				}
+			}
+		}
+	})
+}
+
+// Rotation amounts are bounded: ⌊j/b⌋ < c <= m, so a single conditional
+// correction suffices in RGather.
+func TestRotBounds(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		for j := 0; j < p.N; j++ {
+			r := p.Rot(j)
+			if r < 0 || r >= p.C || r >= p.M {
+				t.Fatalf("%v: rot(%d) = %d out of range", p, j, r)
+			}
+		}
+	})
+}
+
+// The strength-reduced methods must agree with the plain-arithmetic
+// reference formulations everywhere.
+func TestStrengthReducedMatchesReference(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, p *Plan) {
+		m, n, c, a, b := p.M, p.N, p.C, p.A, p.B
+		for i := 0; i < m; i++ {
+			if p.Q(i) != RefQ(m, n, a, i) {
+				t.Fatalf("%v: Q(%d) mismatch", p, i)
+			}
+			if p.QInv(i) != RefQInv(m, n, c, a, b, p.BInvA, i) {
+				t.Fatalf("%v: QInv(%d) mismatch", p, i)
+			}
+			for j := 0; j < n; j++ {
+				if p.RGather(i, j) != RefRGather(m, n, c, a, b, i, j) {
+					t.Fatalf("%v: RGather(%d,%d) mismatch", p, i, j)
+				}
+				if p.RInvGather(i, j) != RefRInvGather(m, n, c, a, b, i, j) {
+					t.Fatalf("%v: RInvGather(%d,%d) mismatch", p, i, j)
+				}
+				if p.D(i, j) != RefD(m, n, i, j) {
+					t.Fatalf("%v: D(%d,%d) mismatch", p, i, j)
+				}
+				if p.DPrime(i, j) != RefDPrime(m, n, c, a, b, i, j) {
+					t.Fatalf("%v: DPrime(%d,%d) mismatch", p, i, j)
+				}
+				if p.DPrimeInv(i, j) != RefDPrimeInv(m, n, c, a, b, p.AInvB, i, j) {
+					t.Fatalf("%v: DPrimeInv(%d,%d) mismatch", p, i, j)
+				}
+				if p.SPrime(i, j) != RefSPrime(m, n, c, a, b, i, j) {
+					t.Fatalf("%v: SPrime(%d,%d) mismatch", p, i, j)
+				}
+				if p.PJ(i, j) != RefPJ(m, i, j) {
+					t.Fatalf("%v: PJ(%d,%d) mismatch", p, i, j)
+				}
+				if p.PJInv(i, j) != RefPJInv(m, i, j) {
+					t.Fatalf("%v: PJInv(%d,%d) mismatch", p, i, j)
+				}
+			}
+		}
+	})
+}
+
+// Spot-check d' against the hand-computed 4×8 example used throughout the
+// paper's Figure 2 (row i=1 computed in the design notes).
+func TestDPrimeFigure2Row(t *testing.T) {
+	p := NewPlan(4, 8)
+	want := []int{1, 5, 2, 6, 3, 7, 0, 4}
+	for j, w := range want {
+		if got := p.DPrime(1, j); got != w {
+			t.Fatalf("DPrime(1,%d) = %d, want %d", j, got, w)
+		}
+	}
+	wantInv := []int{6, 0, 2, 4, 7, 1, 3, 5}
+	for j, w := range wantInv {
+		if got := p.DPrimeInv(1, j); got != w {
+			t.Fatalf("DPrimeInv(1,%d) = %d, want %d", j, got, w)
+		}
+	}
+}
+
+// Property test over random larger shapes: every published inverse
+// relation holds at random sample points.
+func TestInversePropertiesRandomShapes(t *testing.T) {
+	f := func(mRaw, nRaw uint16, iRaw, jRaw uint32) bool {
+		m := int(mRaw%2000) + 1
+		n := int(nRaw%2000) + 1
+		p := NewPlan(m, n)
+		i := int(iRaw) % m
+		j := int(jRaw) % n
+		if p.DPrimeInv(i, p.DPrime(i, j)) != j {
+			return false
+		}
+		iq := int(iRaw) % m
+		if p.QInv(p.Q(iq)) != iq {
+			return false
+		}
+		if p.PJ(p.Q(iq), j) != p.SPrime(iq, j) {
+			return false
+		}
+		if p.PJInv(p.PJ(iq, j), j) != iq {
+			return false
+		}
+		return p.RInvGather(p.RGather(iq, j), j) == iq
+	}
+	cfg := &quick.Config{MaxCount: 3000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 2 for small shapes: x -> m*x mod n is injective on [0, b).
+func TestLemma2Injective(t *testing.T) {
+	for m := 1; m <= 40; m++ {
+		for n := 1; n <= 40; n++ {
+			b := n / mathutil.GCD(m, n)
+			seen := map[int]bool{}
+			for x := 0; x < b; x++ {
+				v := m * x % n
+				if seen[v] {
+					t.Fatalf("m=%d n=%d: mx mod n collides on [0,b)", m, n)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+// Lemma 3 for small shapes: { h*m mod n : h in [0,b) } = { h*c : h in [0,b) }.
+func TestLemma3SetEquality(t *testing.T) {
+	for m := 1; m <= 40; m++ {
+		for n := 1; n <= 40; n++ {
+			c := mathutil.GCD(m, n)
+			b := n / c
+			s := map[int]bool{}
+			for h := 0; h < b; h++ {
+				s[h*m%n] = true
+			}
+			for h := 0; h < b; h++ {
+				if !s[h*c] {
+					t.Fatalf("m=%d n=%d: %d not in S", m, n, h*c)
+				}
+			}
+			if len(s) != b {
+				t.Fatalf("m=%d n=%d: |S| = %d, want %d", m, n, len(s), b)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package cr
+
+// This file provides reference formulations of the index maps using plain
+// hardware division and modulus. They serve two purposes: cross-checking
+// the strength-reduced methods in tests, and quantifying the benefit of
+// the paper's §4.4 arithmetic strength reduction in the ablation
+// benchmarks.
+
+// RefRGather is Equation 23 with plain arithmetic.
+func RefRGather(m, n, c, a, b, i, j int) int { return (i + j/b) % m }
+
+// RefRInvGather is Equation 36 with plain arithmetic.
+func RefRInvGather(m, n, c, a, b, i, j int) int { return ((i-j/b)%m + m) % m }
+
+// RefD is Equation 22 with plain arithmetic.
+func RefD(m, n, i, j int) int { return (i + j*m) % n }
+
+// RefDPrime is Equation 24 with plain arithmetic.
+func RefDPrime(m, n, c, a, b, i, j int) int { return ((i+j/b)%m + j*m) % n }
+
+// RefF is the §4.2 helper with plain arithmetic.
+func RefF(m, n, c, i, j int) int {
+	v := j + i*(n-1)
+	if i-(j%c)+c > m {
+		v += m
+	}
+	return v
+}
+
+// RefDPrimeInv is Equation 31 with plain arithmetic. aInv is mmi(a, b).
+func RefDPrimeInv(m, n, c, a, b, aInv, i, j int) int {
+	f := RefF(m, n, c, i, j)
+	return (aInv*(f/c))%b + (f%c)*b
+}
+
+// RefSPrime is Equation 26 with plain arithmetic.
+func RefSPrime(m, n, c, a, b, i, j int) int { return (j + i*n - i/a) % m }
+
+// RefPJ is Equation 32 with plain arithmetic.
+func RefPJ(m, i, j int) int { return (i + j) % m }
+
+// RefPJInv is Equation 35 with plain arithmetic.
+func RefPJInv(m, i, j int) int { return ((i-j)%m + m) % m }
+
+// RefQ is Equation 33 with plain arithmetic.
+func RefQ(m, n, a, i int) int { return (i*n - i/a) % m }
+
+// RefQInv is Equation 34 with plain arithmetic. bInv is mmi(b, a).
+func RefQInv(m, n, c, a, b, bInv, i int) int {
+	return (((c-1+i)/c)*bInv)%a + (((c-1)*i)%c)*a
+}

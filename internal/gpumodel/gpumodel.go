@@ -1,0 +1,159 @@
+// Package gpumodel is an analytic performance model of the paper's GPU
+// implementation (§5.2): it predicts the throughput of the C2R and R2C
+// transposition kernels on a K20c-class processor from the memory traffic
+// and coalescing efficiency of each pass, including the §4.5 on-chip row
+// shuffle whose capacity limit produces the characteristic bands of
+// Figures 4 and 5.
+//
+// The model complements the wall-clock measurements: the benchmark host's
+// memory system differs from a GPU's, so the measured landscapes are
+// shaped by host caches, while the model reproduces the published
+// landscape structure — the fast band at small n for C2R and at small m
+// for R2C, the float/double gap of Table 2, and the skinny AoS regime of
+// Figure 7 — from the pass structure alone. Its constants are calibrated
+// once against three published medians (19.5 GB/s double general
+// transpose, 14.2 GB/s float, 34.3 GB/s skinny conversion); everything
+// else is prediction.
+package gpumodel
+
+import "inplace/internal/mathutil"
+
+// Device holds the calibration constants of the modeled processor.
+type Device struct {
+	// PeakGBps is the sustained DRAM bandwidth.
+	PeakGBps float64
+	// SectorBytes is the minimum memory transaction: an isolated
+	// element access moves a whole sector (32 B on Kepler's L2).
+	SectorBytes int
+	// StreamEff and FineEff are the bus efficiencies of fully streamed
+	// passes and of the fine-rotation banded sweeps.
+	StreamEff, FineEff float64
+	// SubRowEff is the bus efficiency of coarse sub-row (cache-line
+	// chunk) moves during rotations and row permutes.
+	SubRowEff float64
+	// OnChipRowElems is the row length (in elements) up to which the row
+	// shuffle stages a row entirely on chip (§4.5), making both its read
+	// and write coalesced. Longer rows gather elements from DRAM at
+	// sector granularity. The limit counts elements — it reflects how
+	// many values the launched blocks hold in registers — and its value
+	// is read off the Figure 4 band edge.
+	OnChipRowElems int
+	// OnChipTotalBytes is the array size below which even unstructured
+	// gathers hit on-chip storage (small matrices).
+	OnChipTotalBytes int
+}
+
+// K20c returns the calibration used in the reproduction.
+func K20c() Device {
+	return Device{
+		PeakGBps:         185,
+		SectorBytes:      32,
+		StreamEff:        0.95,
+		FineEff:          0.90,
+		SubRowEff:        0.80,
+		OnChipRowElems:   3000,
+		OnChipTotalBytes: 1280 << 10,
+	}
+}
+
+// time returns the pass time (ns per payload byte scale) for traffic
+// tf× the payload at the given bus efficiency.
+func (d Device) time(payload, tf, eff float64) float64 {
+	return payload * tf / (d.PeakGBps * eff)
+}
+
+// gatherEff is the read efficiency of an unstructured per-element gather:
+// each element fetch moves a whole sector, and the scattered requests
+// additionally halve the achievable rate (transaction replay and TLB
+// pressure), so the efficiency is elemBytes / (2 · SectorBytes). This is
+// also where the paper's float/double gap originates: 64-bit elements
+// waste half as much of each sector.
+func (d Device) gatherEff(elemBytes int) float64 {
+	e := float64(elemBytes) / float64(2*d.SectorBytes)
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// Estimate predicts the throughput (GB/s, Equation 37) of the in-place
+// transposition of an m×n array via the selected pipeline (C2R when
+// useC2R, else R2C). The R2C pipeline on m×n is the mirrored C2R pipeline
+// with the dimensions swapped.
+func (d Device) Estimate(m, n, elemBytes int, useC2R bool) float64 {
+	if !useC2R {
+		m, n = n, m
+	}
+	payload := float64(m) * float64(n) * float64(elemBytes)
+	var total float64
+
+	// Column pre-rotation (only when gcd > 1): coarse sub-row cycle
+	// moves plus a fine banded sweep.
+	if mathutil.GCD(m, n) > 1 {
+		total += d.time(payload, 2, d.SubRowEff)
+		total += d.time(payload, 2, d.FineEff)
+	}
+
+	// Row shuffle. Rows staged on chip shuffle for free between a
+	// coalesced read and a coalesced write; larger rows gather each
+	// element from DRAM at sector granularity and round-trip through a
+	// temporary row (§4.5) — the cliff behind the Figure 4/5 bands.
+	switch {
+	case n <= d.OnChipRowElems || payload <= float64(d.OnChipTotalBytes):
+		total += d.time(payload, 2, d.StreamEff)
+	default:
+		total += d.time(payload, 1, d.gatherEff(elemBytes)) // gather read
+		total += d.time(payload, 3, d.StreamEff)            // write + tmp round trip
+	}
+
+	// Column shuffle: the p rotation (coarse + fine) and the q row
+	// permute (whole sub-row cycle moves).
+	total += d.time(payload, 2, d.SubRowEff)
+	total += d.time(payload, 2, d.FineEff)
+	total += d.time(payload, 2, d.SubRowEff)
+
+	return 2 * payload / total
+}
+
+// EstimateHeuristic predicts the combined implementation, which selects
+// C2R when m > n and R2C otherwise (§5.2).
+func (d Device) EstimateHeuristic(m, n, elemBytes int) float64 {
+	return d.Estimate(m, n, elemBytes, m > n)
+}
+
+// EstimateSkinny predicts the §6.1 AoS↔SoA specialization for count
+// structures of `fields` elements each: the direction is chosen so the
+// columns are `fields` long and live on chip, leaving one unstructured
+// row-shuffle gather over the long rows plus streamed banded passes.
+func (d Device) EstimateSkinny(count, fields, elemBytes int) float64 {
+	payload := float64(count) * float64(fields) * float64(elemBytes)
+	var total float64
+	// Fused pre-rotation + column work: streamed banded pass.
+	total += d.time(payload, 2, d.StreamEff)
+	// Row shuffle over count-long rows. In the skinny direction the d'
+	// destinations advance by the constant step m mod n per column, so
+	// the walk is strided rather than unstructured: a full sector's
+	// worth of each fetch is eventually consumed (eff = elem/sector,
+	// twice the unstructured rate).
+	if payload <= float64(d.OnChipTotalBytes) {
+		total += d.time(payload, 2, d.StreamEff)
+	} else {
+		eff := float64(elemBytes) / float64(d.SectorBytes)
+		if eff > 1 {
+			eff = 1
+		}
+		total += d.time(payload, 1, eff)
+		total += d.time(payload, 1, d.StreamEff)
+	}
+	// Fine rotation: streamed banded sweep.
+	total += d.time(payload, 2, d.FineEff)
+	// Row permute q: whole structures (fields·elemBytes bytes) move
+	// along cycles; small structures waste most of each transaction,
+	// which is where Figure 7's spread over structure sizes originates.
+	qEff := float64(fields*elemBytes) / float64(2*d.SectorBytes)
+	if qEff > 1 {
+		qEff = 1
+	}
+	total += d.time(payload, 2, qEff)
+	return 2 * payload / total
+}

@@ -1,0 +1,134 @@
+package gpumodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func TestModelMatchesPublishedMedians(t *testing.T) {
+	d := K20c()
+	rng := rand.New(rand.NewSource(6))
+
+	// Table 2 medians over the paper's workload (m, n ∈ [1000, 20000)):
+	// C2R double 19.53 GB/s, C2R float 14.23 GB/s.
+	var double, float []float64
+	for s := 0; s < 600; s++ {
+		m := 1000 + rng.Intn(19000)
+		n := 1000 + rng.Intn(19000)
+		double = append(double, d.EstimateHeuristic(m, n, 8))
+		float = append(float, d.EstimateHeuristic(m, n, 4))
+	}
+	md, mf := median(double), median(float)
+	if math.Abs(md-19.53) > 6 {
+		t.Errorf("modeled double median %.1f, paper 19.53", md)
+	}
+	if math.Abs(mf-14.23) > 6 {
+		t.Errorf("modeled float median %.1f, paper 14.23", mf)
+	}
+	if mf >= md {
+		t.Errorf("float median %.1f must trail double %.1f (paper's §5.2 observation)", mf, md)
+	}
+
+	// Figure 7 median over the paper's AoS workload: 34.3 GB/s,
+	// maximum 51 GB/s.
+	var aos []float64
+	for s := 0; s < 600; s++ {
+		fields := 2 + rng.Intn(30)
+		count := 10_000 + rng.Intn(9_990_000)
+		aos = append(aos, d.EstimateSkinny(count, fields, 8))
+	}
+	ma := median(aos)
+	if math.Abs(ma-34.3) > 7 {
+		t.Errorf("modeled skinny median %.1f, paper 34.3", ma)
+	}
+	lo := aos[0]
+	for _, v := range aos {
+		if v < lo {
+			lo = v
+		}
+	}
+	if lo >= ma {
+		t.Error("skinny distribution must spread below its median")
+	}
+	// The fast tail (the paper's 51 GB/s maximum) comes from conversions
+	// whose working set is cache resident.
+	fast := d.EstimateSkinny(12_000, 12, 8)
+	if fast < 40 || fast > 65 {
+		t.Errorf("modeled skinny fast regime %.1f, paper max 51", fast)
+	}
+}
+
+// The Figure 4 band: C2R is markedly faster when a row fits on chip
+// (small n), and the band position moves with element size.
+func TestLandscapeBandStructure(t *testing.T) {
+	d := K20c()
+	smallN := d.Estimate(20000, 2000, 8, true)  // rows stage on chip
+	largeN := d.Estimate(20000, 20000, 8, true) // rows gather from DRAM
+	if smallN < largeN*1.2 {
+		t.Fatalf("C2R band missing: small-n %.1f vs large-n %.1f", smallN, largeN)
+	}
+	// R2C mirrors it: fast when m is small (Figure 5).
+	smallM := d.Estimate(2000, 20000, 8, false)
+	largeM := d.Estimate(20000, 20000, 8, false)
+	if smallM < largeM*1.2 {
+		t.Fatalf("R2C band missing: small-m %.1f vs large-m %.1f", smallM, largeM)
+	}
+	// Floats pay a steeper gather penalty outside the band (§5.2's
+	// observation that 64-bit unstructured reads are more efficient).
+	floatBulk := d.Estimate(20000, 20000, 4, true)
+	doubleBulk := largeN
+	if floatBulk >= doubleBulk {
+		t.Fatalf("float bulk %.1f must trail double bulk %.1f", floatBulk, doubleBulk)
+	}
+}
+
+// The heuristic's value (Table 2 context): combining C2R and R2C by shape
+// dominates either alone across a sweep.
+func TestHeuristicDominates(t *testing.T) {
+	d := K20c()
+	rng := rand.New(rand.NewSource(7))
+	var heur, c2r, r2c []float64
+	for s := 0; s < 300; s++ {
+		m := 1000 + rng.Intn(19000)
+		n := 1000 + rng.Intn(19000)
+		heur = append(heur, d.EstimateHeuristic(m, n, 8))
+		c2r = append(c2r, d.Estimate(m, n, 8, true))
+		r2c = append(r2c, d.Estimate(m, n, 8, false))
+	}
+	mh, mc, mr := median(heur), median(c2r), median(r2c)
+	if mh < mc || mh < mr {
+		t.Fatalf("heuristic median %.1f must dominate C2R %.1f and R2C %.1f", mh, mc, mr)
+	}
+}
+
+// Coprime shapes skip the pre-rotation and run faster.
+func TestCoprimeSkipsPreRotation(t *testing.T) {
+	d := K20c()
+	coprime := d.Estimate(9973, 10007, 8, true) // primes
+	composite := d.Estimate(9984, 10000, 8, true)
+	if coprime <= composite {
+		t.Fatalf("coprime %.1f must beat composite %.1f", coprime, composite)
+	}
+}
+
+// Skinny conversions of cache-resident arrays hit the fast regime
+// (the Figure 7 maximum of 51 GB/s).
+func TestSkinnySmallArrayFastRegime(t *testing.T) {
+	d := K20c()
+	small := d.EstimateSkinny(10_000, 8, 8) // 640 KB
+	large := d.EstimateSkinny(5_000_000, 8, 8)
+	if small <= large {
+		t.Fatalf("cache-resident skinny %.1f must beat DRAM-bound %.1f", small, large)
+	}
+}

@@ -1,0 +1,389 @@
+// Package gpusim executes the paper's GPU implementation (§5.2) on
+// simulated SIMD hardware: the three kernels of the decomposed C2R
+// transposition — cache-aware column rotation, row shuffle (staged on
+// chip when the row fits, as in §4.5), and the cycle-following row
+// permute — run warp by warp against the coalescing memory model of
+// internal/memsim, actually moving the data.
+//
+// Unlike internal/gpumodel, which predicts pass costs analytically, this
+// simulator counts every warp-wide transaction the kernels issue, so the
+// modeled bandwidth follows from the implementation's real access
+// pattern; and because the kernels genuinely permute the buffer, their
+// output is verified element-for-element against the CPU engines.
+package gpusim
+
+import (
+	"fmt"
+
+	"inplace/internal/cr"
+	"inplace/internal/memsim"
+)
+
+// Device describes the simulated processor.
+type Device struct {
+	// Mem is the memory model transactions are charged to.
+	Mem *memsim.Memory
+	// WarpSize is the number of lanes per warp (32 on the K20c).
+	WarpSize int
+	// OnChipRowElems is the largest row the row-shuffle kernel can stage
+	// in the register file (§4.5).
+	OnChipRowElems int
+	// SubRowElems is the width of the sub-rows moved by the column
+	// kernels (one 128-byte line of 64-bit elements).
+	SubRowElems int
+}
+
+// NewK20c returns a device with the reproduction's K20c calibration.
+func NewK20c() *Device {
+	return &Device{
+		Mem:            memsim.New(memsim.K20c()),
+		WarpSize:       32,
+		OnChipRowElems: 29440, // §4.5: rows of up to 29440 64-bit elements
+		SubRowElems:    16,
+	}
+}
+
+// loadSpan issues warp loads covering words [off, off+count) of data and
+// returns them. Consecutive lanes read consecutive words, so the access
+// is coalesced.
+func (d *Device) loadSpan(data []uint64, off, count int, dst []uint64) {
+	addrs := make([]int64, d.WarpSize)
+	for base := 0; base < count; base += d.WarpSize {
+		for l := 0; l < d.WarpSize; l++ {
+			if base+l < count {
+				addrs[l] = int64(off+base+l) * 8
+				dst[base+l] = data[off+base+l]
+			} else {
+				addrs[l] = -1
+			}
+		}
+		d.Mem.ALU(1)
+		d.Mem.Load(addrs, 8)
+	}
+}
+
+// storeSpan issues warp stores covering words [off, off+count) of data.
+func (d *Device) storeSpan(data []uint64, off, count int, src []uint64) {
+	addrs := make([]int64, d.WarpSize)
+	for base := 0; base < count; base += d.WarpSize {
+		for l := 0; l < d.WarpSize; l++ {
+			if base+l < count {
+				addrs[l] = int64(off+base+l) * 8
+				data[off+base+l] = src[base+l]
+			} else {
+				addrs[l] = -1
+			}
+		}
+		d.Mem.ALU(1)
+		d.Mem.Store(addrs, 8)
+	}
+}
+
+// gatherRow issues warp gathers: lane l of each warp reads word
+// srcIdx(base+l) into dst[base+l]. The addresses are arbitrary, so the
+// coalescer charges whatever the pattern costs.
+func (d *Device) gatherRow(data []uint64, n int, srcIdx func(j int) int, dst []uint64) {
+	addrs := make([]int64, d.WarpSize)
+	for base := 0; base < n; base += d.WarpSize {
+		for l := 0; l < d.WarpSize; l++ {
+			if base+l < n {
+				w := srcIdx(base + l)
+				addrs[l] = int64(w) * 8
+				dst[base+l] = data[w]
+			} else {
+				addrs[l] = -1
+			}
+		}
+		d.Mem.ALU(3) // index arithmetic (strength-reduced d'^{-1})
+		d.Mem.Load(addrs, 8)
+	}
+}
+
+// C2R performs the in-place C2R transposition of the row-major m×n array
+// on the device, charging every access to the memory model. The buffer
+// afterwards holds the row-major n×m transpose.
+func (d *Device) C2R(data []uint64, p *cr.Plan) {
+	if len(data) != p.M*p.N {
+		panic(fmt.Sprintf("gpusim: buffer length %d does not match %v", len(data), p))
+	}
+	if !p.Coprime {
+		d.rotateKernel(data, p, p.Rot)
+	}
+	d.rowShuffleKernel(data, p)
+	d.rotateKernel(data, p, func(j int) int { return j })
+	d.rowPermuteKernel(data, p)
+}
+
+// rotateKernel is the cache-aware column rotation (§4.6): groups of
+// SubRowElems adjacent columns rotate together; the coarse amount moves
+// whole sub-rows along analytic cycles and a fine forward sweep applies
+// the bounded residuals.
+func (d *Device) rotateKernel(data []uint64, p *cr.Plan, amount func(j int) int) {
+	m, n := p.M, p.N
+	if m <= 1 {
+		return
+	}
+	bw := d.SubRowElems
+	buf := make([]uint64, bw)
+	buf2 := make([]uint64, bw)
+	res := make([]int, bw)
+	for j0 := 0; j0 < n; j0 += bw {
+		j1 := j0 + bw
+		if j1 > n {
+			j1 = n
+		}
+		w := j1 - j0
+		// Coarse amount and residuals (choose the endpoint that bounds
+		// them, as in internal/core).
+		k, band, ok := planGroup(m, j0, j1, amount, res)
+		if !ok {
+			// Degenerate tiny-m group: per-column rotation through
+			// registers (reads and writes whole columns).
+			for j := j0; j < j1; j++ {
+				d.rotateSingleColumn(data, m, n, j, amount(j))
+			}
+			continue
+		}
+		if k != 0 {
+			d.coarseRotate(data, m, n, j0, w, k, buf, buf2)
+		}
+		if band == 0 {
+			continue
+		}
+		// Fine sweep: stream rows forward, each destination row gathers
+		// from its residual band (the band stays in registers/L1, so
+		// only one read and one write per row reach memory).
+		saved := make([]uint64, band*w)
+		for r := 0; r < band; r++ {
+			copy(saved[r*w:r*w+w], data[r*n+j0:r*n+j0+w])
+		}
+		row := make([]uint64, w)
+		for i := 0; i < m; i++ {
+			for jj := 0; jj < w; jj++ {
+				sr := i + res[jj]
+				if sr < m {
+					row[jj] = data[sr*n+j0+jj]
+				} else {
+					row[jj] = saved[(sr-m)*w+jj]
+				}
+			}
+			// One streamed read of the incoming band row + one store.
+			d.Mem.ALU(2)
+			d.chargeSubRow(i, n, j0, w, false)
+			d.chargeSubRow(i, n, j0, w, true)
+			copy(data[i*n+j0:i*n+j0+w], row)
+		}
+	}
+}
+
+func (d *Device) rotateSingleColumn(data []uint64, m, n, j, amt int) {
+	amt %= m
+	if amt < 0 {
+		amt += m
+	}
+	if amt == 0 {
+		return
+	}
+	col := make([]uint64, m)
+	addrs := make([]int64, d.WarpSize)
+	for base := 0; base < m; base += d.WarpSize {
+		for l := 0; l < d.WarpSize; l++ {
+			if base+l < m {
+				addrs[l] = int64((base+l)*n+j) * 8
+			} else {
+				addrs[l] = -1
+			}
+		}
+		d.Mem.ALU(1)
+		d.Mem.Load(addrs, 8)
+		d.Mem.Store(addrs, 8)
+	}
+	for i := 0; i < m; i++ {
+		col[i] = data[((i+amt)%m)*n+j]
+	}
+	for i := 0; i < m; i++ {
+		data[i*n+j] = col[i]
+	}
+}
+
+// coarseRotate moves whole sub-rows along the rotation's analytic cycles
+// with one spare sub-row in registers (one load + one store per move).
+func (d *Device) coarseRotate(data []uint64, m, n, j0, w, k int, buf, spare []uint64) {
+	z := gcd(m, k)
+	clen := m / z
+	for y := 0; y < z; y++ {
+		copy(buf[:w], data[y*n+j0:y*n+j0+w])
+		d.chargeSubRow(y, n, j0, w, false)
+		pos := y
+		for s := 1; s < clen; s++ {
+			next := pos + k
+			if next >= m {
+				next -= m
+			}
+			d.chargeSubRow(next, n, j0, w, false)
+			d.chargeSubRow(pos, n, j0, w, true)
+			d.Mem.ALU(1)
+			copy(spare[:w], data[next*n+j0:next*n+j0+w])
+			copy(data[pos*n+j0:pos*n+j0+w], spare[:w])
+			pos = next
+		}
+		d.chargeSubRow(pos, n, j0, w, true)
+		copy(data[pos*n+j0:pos*n+j0+w], buf[:w])
+	}
+}
+
+// chargeSubRow charges one warp access covering the w-element sub-row at
+// (i, j0).
+func (d *Device) chargeSubRow(i, n, j0, w int, store bool) {
+	addrs := make([]int64, d.WarpSize)
+	for l := 0; l < d.WarpSize; l++ {
+		if l < w {
+			addrs[l] = int64(i*n+j0+l) * 8
+		} else {
+			addrs[l] = -1
+		}
+	}
+	if store {
+		d.Mem.Store(addrs, 8)
+	} else {
+		d.Mem.Load(addrs, 8)
+	}
+}
+
+// rowShuffleKernel permutes every row by d'_i. Rows that fit on chip are
+// read coalesced, shuffled in the register file and written coalesced
+// (§4.5); longer rows gather through global memory with the closed-form
+// inverse and round-trip through a temporary row.
+func (d *Device) rowShuffleKernel(data []uint64, p *cr.Plan) {
+	m, n := p.M, p.N
+	tmp := make([]uint64, n)
+	for i := 0; i < m; i++ {
+		row := data[i*n : i*n+n]
+		if n <= d.OnChipRowElems {
+			d.loadSpan(data, i*n, n, tmp)
+			// In-register permutation: conditional moves only.
+			d.Mem.ALU((n + d.WarpSize - 1) / d.WarpSize * 2)
+			out := make([]uint64, n)
+			for j := 0; j < n; j++ {
+				out[p.DPrime(i, j)] = tmp[j]
+			}
+			copy(tmp, out)
+			d.storeSpan(data, i*n, n, tmp)
+			continue
+		}
+		// Global gather with d'^{-1} into a temporary row, then copy
+		// back (two extra streamed passes over the row).
+		i := i
+		d.gatherRow(data, n, func(j int) int { return i*n + p.DPrimeInv(i, j) }, tmp)
+		d.storeSpan(data, i*n, n, tmp) // write into the temporary (modeled)
+		d.loadSpan(data, i*n, n, tmp)  // read the temporary back
+		d.storeSpan(data, i*n, n, tmp)
+		copy(row, tmp[:n])
+	}
+}
+
+// rowPermuteKernel applies the shared row permutation q by moving whole
+// sub-rows along its cycles (§4.7).
+func (d *Device) rowPermuteKernel(data []uint64, p *cr.Plan) {
+	m, n := p.M, p.N
+	if m <= 1 {
+		return
+	}
+	q := make([]int, m)
+	for i := range q {
+		q[i] = p.Q(i)
+	}
+	visited := make([]bool, m)
+	bw := d.SubRowElems
+	buf := make([]uint64, bw)
+	spare := make([]uint64, bw)
+	for j0 := 0; j0 < n; j0 += bw {
+		j1 := j0 + bw
+		if j1 > n {
+			j1 = n
+		}
+		w := j1 - j0
+		for i := range visited {
+			visited[i] = false
+		}
+		for start := 0; start < m; start++ {
+			if visited[start] || q[start] == start {
+				continue
+			}
+			copy(buf[:w], data[start*n+j0:start*n+j0+w])
+			d.chargeSubRow(start, n, j0, w, false)
+			pos := start
+			for {
+				visited[pos] = true
+				next := q[pos]
+				if next == start {
+					break
+				}
+				d.chargeSubRow(next, n, j0, w, false)
+				d.chargeSubRow(pos, n, j0, w, true)
+				d.Mem.ALU(1)
+				copy(spare[:w], data[next*n+j0:next*n+j0+w])
+				copy(data[pos*n+j0:pos*n+j0+w], spare[:w])
+				pos = next
+			}
+			d.chargeSubRow(pos, n, j0, w, true)
+			copy(data[pos*n+j0:pos*n+j0+w], buf[:w])
+		}
+	}
+}
+
+// planGroup computes the coarse rotation amount and residuals for a
+// column group, mirroring internal/core's candidate-endpoint choice.
+func planGroup(m, j0, j1 int, amount func(j int) int, res []int) (k, band int, ok bool) {
+	w := j1 - j0
+	am := make([]int, w)
+	for j := j0; j < j1; j++ {
+		r := amount(j) % m
+		if r < 0 {
+			r += m
+		}
+		am[j-j0] = r
+	}
+	for _, cand := range []int{am[0], am[w-1]} {
+		k = cand
+		band = 0
+		ok = true
+		for jj := 0; jj < w; jj++ {
+			r := am[jj] - k
+			if r < 0 {
+				r += m
+			}
+			res[jj] = r
+			if r > band {
+				band = r
+			}
+		}
+		if band < m && band <= 2*w {
+			return k, band, true
+		}
+		ok = false
+	}
+	return 0, 0, false
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Throughput returns the modeled bandwidth of everything charged so far
+// for a transpose of m×n elements of the given size, by Equation 37's
+// definition (2·m·n·s over the modeled time).
+func (d *Device) Throughput(m, n, elemBytes int) float64 {
+	s := d.Mem.Stats()
+	t := s.DRAMTimeNs
+	if s.IssueTimeNs > t {
+		t = s.IssueTimeNs
+	}
+	if t == 0 {
+		return 0
+	}
+	return 2 * float64(m) * float64(n) * float64(elemBytes) / t
+}

@@ -1,0 +1,157 @@
+package gpusim
+
+import (
+	"testing"
+
+	"inplace/internal/core"
+	"inplace/internal/cr"
+)
+
+func seq(n int) []uint64 {
+	x := make([]uint64, n)
+	for i := range x {
+		x[i] = uint64(i)
+	}
+	return x
+}
+
+// The simulated kernels must compute the exact transposition.
+func TestDeviceC2RCorrectExhaustive(t *testing.T) {
+	for m := 1; m <= 18; m++ {
+		for n := 1; n <= 18; n++ {
+			d := NewK20c()
+			data := seq(m * n)
+			want := make([]uint64, m*n)
+			core.OutOfPlace(want, data, m, n)
+			d.C2R(data, cr.NewPlan(m, n))
+			for i := range data {
+				if data[i] != want[i] {
+					t.Fatalf("m=%d n=%d: wrong at %d", m, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDeviceC2RCorrectLarger(t *testing.T) {
+	for _, sh := range [][2]int{{97, 131}, {128, 96}, {300, 40}, {40, 300}, {256, 256}} {
+		m, n := sh[0], sh[1]
+		d := NewK20c()
+		data := seq(m * n)
+		want := make([]uint64, m*n)
+		core.OutOfPlace(want, data, m, n)
+		d.C2R(data, cr.NewPlan(m, n))
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("%dx%d: wrong at %d", m, n, i)
+			}
+		}
+	}
+}
+
+func TestDevicePanicsOnBadLength(t *testing.T) {
+	d := NewK20c()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.C2R(make([]uint64, 5), cr.NewPlan(2, 3))
+}
+
+// The counted-transaction bandwidth must land in the regime the paper
+// measured: the executed kernels on a large matrix with on-chip rows
+// should model tens of GB/s, far below raw copy speed and far above the
+// uncoalesced floor.
+func TestModeledThroughputRegime(t *testing.T) {
+	m, n := 1200, 900
+	d := NewK20c()
+	data := seq(m * n)
+	d.C2R(data, cr.NewPlan(m, n))
+	bw := d.Throughput(m, n, 8)
+	if bw < 8 || bw > 80 {
+		t.Fatalf("modeled throughput %.1f GB/s outside the plausible K20c regime", bw)
+	}
+	stats := d.Mem.Stats()
+	if stats.Efficiency < 0.3 {
+		t.Fatalf("kernel coalescing efficiency %.2f implausibly low", stats.Efficiency)
+	}
+}
+
+// The §4.5 on-chip row shuffle must beat the global-gather fallback: the
+// same matrix transposed with a device whose register budget cannot hold
+// a row models strictly lower bandwidth.
+func TestOnChipRowShuffleAdvantage(t *testing.T) {
+	m, n := 600, 1400
+	onChip := NewK20c()
+	dataA := seq(m * n)
+	onChip.C2R(dataA, cr.NewPlan(m, n))
+
+	spilled := NewK20c()
+	spilled.OnChipRowElems = 64 // force the gather + temporary path
+	dataB := seq(m * n)
+	spilled.C2R(dataB, cr.NewPlan(m, n))
+
+	for i := range dataA {
+		if dataA[i] != dataB[i] {
+			t.Fatal("both configurations must compute the same permutation")
+		}
+	}
+	a := onChip.Throughput(m, n, 8)
+	b := spilled.Throughput(m, n, 8)
+	if a <= b*1.1 {
+		t.Fatalf("on-chip staging %.1f GB/s must clearly beat spilled %.1f GB/s", a, b)
+	}
+}
+
+// Coprime shapes skip the pre-rotation kernel and transpose faster.
+func TestCoprimeFasterOnDevice(t *testing.T) {
+	dc := NewK20c()
+	dataC := seq(601 * 901) // coprime
+	dc.C2R(dataC, cr.NewPlan(601, 901))
+	cBW := dc.Throughput(601, 901, 8)
+
+	dn := NewK20c()
+	dataN := seq(600 * 900) // gcd 300
+	dn.C2R(dataN, cr.NewPlan(600, 900))
+	nBW := dn.Throughput(600, 900, 8)
+
+	if cBW <= nBW {
+		t.Fatalf("coprime %.1f GB/s must beat non-coprime %.1f GB/s", cBW, nBW)
+	}
+}
+
+// The per-column fallback path rotates correctly and charges accesses.
+func TestRotateSingleColumn(t *testing.T) {
+	m, n := 10, 3
+	d := NewK20c()
+	data := seq(m * n)
+	d.rotateSingleColumn(data, m, n, 1, 3)
+	for i := 0; i < m; i++ {
+		want := uint64(((i+3)%m)*n + 1)
+		if data[i*n+1] != want {
+			t.Fatalf("rotate wrong at row %d: got %d want %d", i, data[i*n+1], want)
+		}
+		// Other columns untouched.
+		if data[i*n] != uint64(i*n) || data[i*n+2] != uint64(i*n+2) {
+			t.Fatal("fallback disturbed other columns")
+		}
+	}
+	if d.Mem.Stats().Transactions == 0 {
+		t.Fatal("fallback must charge memory transactions")
+	}
+	// Zero rotation is free.
+	before := d.Mem.Stats().Transactions
+	d.rotateSingleColumn(data, m, n, 1, 0)
+	if d.Mem.Stats().Transactions != before {
+		t.Fatal("zero rotation must not touch memory")
+	}
+}
+
+// Throughput of an untouched device is zero.
+func TestThroughputZero(t *testing.T) {
+	d := NewK20c()
+	if d.Throughput(10, 10, 8) != 0 {
+		t.Fatal("no accesses must model zero throughput")
+	}
+}

@@ -1,0 +1,160 @@
+// Package layout provides the linearization algebra of the paper's
+// Section 2: conversions between two-dimensional (row, column) indices and
+// linear offsets for row-major and column-major storage (Equations 1–6),
+// the four transposition gather functions s, c, t, d (Equations 7–10), and
+// the swapped-dimension index functions of Theorem 1 (Equations 16–17).
+//
+// The package also offers a bounds-checked Matrix view used by tests,
+// examples and tools; the hot transposition kernels in internal/core do
+// their own flat indexing.
+package layout
+
+import "fmt"
+
+// Order identifies the linearization of a two-dimensional array.
+type Order int
+
+const (
+	// RowMajor linearizes as l = j + i*n (Equation 1).
+	RowMajor Order = iota
+	// ColMajor linearizes as l = i + j*m (Equation 4).
+	ColMajor
+)
+
+// String returns "row-major" or "col-major".
+func (o Order) String() string {
+	switch o {
+	case RowMajor:
+		return "row-major"
+	case ColMajor:
+		return "col-major"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// LRM is Equation 1: the row-major linear index of (i, j) in an array with
+// n columns.
+func LRM(i, j, n int) int { return j + i*n }
+
+// IRM is Equation 2: the row index of row-major linear offset l with n
+// columns.
+func IRM(l, n int) int { return l / n }
+
+// JRM is Equation 3: the column index of row-major linear offset l with n
+// columns.
+func JRM(l, n int) int { return l % n }
+
+// LCM is Equation 4: the column-major linear index of (i, j) in an array
+// with m rows.
+func LCM(i, j, m int) int { return i + j*m }
+
+// ICM is Equation 5: the row index of column-major linear offset l with m
+// rows.
+func ICM(l, m int) int { return l % m }
+
+// JCM is Equation 6: the column index of column-major linear offset l with
+// m rows.
+func JCM(l, m int) int { return l / m }
+
+// ITRM is Equation 16: the row index of offset l in the row-major
+// linearization of the transposed (n×m) array, which coincides with JCM.
+func ITRM(l, m int) int { return l / m }
+
+// JTRM is Equation 17: the column index of offset l in the row-major
+// linearization of the transposed (n×m) array, which coincides with ICM.
+func JTRM(l, m int) int { return l % m }
+
+// S is Equation 7: the source row of the C2R gather, s(i,j) = lrm(i,j) mod m.
+func S(i, j, m, n int) int { return (j + i*n) % m }
+
+// C is Equation 8: the source column of the C2R gather,
+// c(i,j) = floor(lrm(i,j) / m).
+func C(i, j, m, n int) int { return (j + i*n) / m }
+
+// T is Equation 9: the source row of the R2C gather,
+// t(i,j) = floor(lcm(i,j) / n).
+func T(i, j, m, n int) int { return (i + j*m) / n }
+
+// D is Equation 10: the source column of the R2C gather,
+// d(i,j) = lcm(i,j) mod n.
+func D(i, j, m, n int) int { return (i + j*m) % n }
+
+// Shape describes the logical dimensions of a matrix: Rows × Cols.
+type Shape struct {
+	Rows, Cols int
+}
+
+// Valid reports whether both dimensions are positive.
+func (s Shape) Valid() bool { return s.Rows > 0 && s.Cols > 0 }
+
+// Len returns the number of elements, Rows*Cols.
+func (s Shape) Len() int { return s.Rows * s.Cols }
+
+// Transposed returns the shape with dimensions swapped.
+func (s Shape) Transposed() Shape { return Shape{Rows: s.Cols, Cols: s.Rows} }
+
+// String formats the shape as "RxC".
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.Rows, s.Cols) }
+
+// Matrix is a bounds-checked two-dimensional view over a flat slice. It is
+// a convenience for tests, tools and examples; performance-critical code
+// indexes the flat slice directly.
+type Matrix[T any] struct {
+	Data  []T
+	Shape Shape
+	Order Order
+}
+
+// NewMatrix wraps data as an m×n matrix with the given storage order.
+// It panics if len(data) != m*n or either dimension is non-positive.
+func NewMatrix[T any](data []T, m, n int, order Order) Matrix[T] {
+	sh := Shape{Rows: m, Cols: n}
+	if !sh.Valid() {
+		panic(fmt.Sprintf("layout: invalid shape %v", sh))
+	}
+	if len(data) != sh.Len() {
+		panic(fmt.Sprintf("layout: data length %d does not match shape %v", len(data), sh))
+	}
+	return Matrix[T]{Data: data, Shape: sh, Order: order}
+}
+
+// Index returns the linear offset of element (i, j).
+func (mt Matrix[T]) Index(i, j int) int {
+	if i < 0 || i >= mt.Shape.Rows || j < 0 || j >= mt.Shape.Cols {
+		panic(fmt.Sprintf("layout: index (%d,%d) out of range for %v", i, j, mt.Shape))
+	}
+	if mt.Order == RowMajor {
+		return LRM(i, j, mt.Shape.Cols)
+	}
+	return LCM(i, j, mt.Shape.Rows)
+}
+
+// At returns element (i, j).
+func (mt Matrix[T]) At(i, j int) T { return mt.Data[mt.Index(i, j)] }
+
+// Set stores v at element (i, j).
+func (mt Matrix[T]) Set(i, j int, v T) { mt.Data[mt.Index(i, j)] = v }
+
+// Reinterpret returns a view of the same flat data with a new shape and
+// order. It panics if the new shape does not cover exactly the same number
+// of elements. This is the "reinterpret the data as a two-dimensional
+// array with transposed dimensions" step of the paper's Section 2.
+func (mt Matrix[T]) Reinterpret(m, n int, order Order) Matrix[T] {
+	return NewMatrix(mt.Data, m, n, order)
+}
+
+// String renders small matrices for debugging and the figure demos.
+func (mt Matrix[T]) String() string {
+	out := ""
+	for i := 0; i < mt.Shape.Rows; i++ {
+		for j := 0; j < mt.Shape.Cols; j++ {
+			if j > 0 {
+				out += "\t"
+			}
+			out += fmt.Sprint(mt.At(i, j))
+		}
+		out += "\n"
+	}
+	return out
+}

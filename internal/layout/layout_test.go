@@ -1,0 +1,170 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearizationRoundTripRowMajor(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for n := 1; n <= 12; n++ {
+			for l := 0; l < m*n; l++ {
+				i, j := IRM(l, n), JRM(l, n)
+				if i < 0 || i >= m || j < 0 || j >= n {
+					t.Fatalf("m=%d n=%d l=%d: (i,j)=(%d,%d) out of range", m, n, l, i, j)
+				}
+				if got := LRM(i, j, n); got != l {
+					t.Fatalf("m=%d n=%d: lrm(irm(%d), jrm(%d)) = %d", m, n, l, l, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearizationRoundTripColMajor(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for n := 1; n <= 12; n++ {
+			for l := 0; l < m*n; l++ {
+				i, j := ICM(l, m), JCM(l, m)
+				if i < 0 || i >= m || j < 0 || j >= n {
+					t.Fatalf("m=%d n=%d l=%d: (i,j)=(%d,%d) out of range", m, n, l, i, j)
+				}
+				if got := LCM(i, j, m); got != l {
+					t.Fatalf("m=%d n=%d: lcm(icm(%d), jcm(%d)) = %d", m, n, l, l, got)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 1's helper identities: iTrm and jTrm are jcm and icm.
+func TestTransposedIndexIdentities(t *testing.T) {
+	f := func(lRaw, mRaw uint8) bool {
+		m := int(mRaw%31) + 1
+		l := int(lRaw)
+		return ITRM(l, m) == JCM(l, m) && JTRM(l, m) == ICM(l, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's worked example after Equation 14: m=3, n=8, element at
+// (2,0) moves to (1,5) under R2C.
+func TestPaperWorkedExample(t *testing.T) {
+	m, n := 3, 8
+	i, j := 2, 0
+	if got := S(i, j, m, n); got != 1 {
+		t.Errorf("s(2,0) = %d, want 1", got)
+	}
+	if got := C(i, j, m, n); got != 5 {
+		t.Errorf("c(2,0) = %d, want 5", got)
+	}
+}
+
+// The gather pairs (s,c) and (t,d) are mutually inverse coordinate maps:
+// (s,c) decomposes lrm(i,j) by m; (t,d) decomposes lcm(i,j) by n.
+func TestGatherFunctionsDecompose(t *testing.T) {
+	for m := 1; m <= 10; m++ {
+		for n := 1; n <= 10; n++ {
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					if LCM(S(i, j, m, n), C(i, j, m, n), m) != LRM(i, j, n) {
+						t.Fatalf("m=%d n=%d (%d,%d): lcm(s,c) != lrm", m, n, i, j)
+					}
+					if LRM(T(i, j, m, n), D(i, j, m, n), n) != LCM(i, j, m) {
+						t.Fatalf("m=%d n=%d (%d,%d): lrm(t,d) != lcm", m, n, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixViewRowMajor(t *testing.T) {
+	data := []int{0, 1, 2, 3, 4, 5}
+	mt := NewMatrix(data, 2, 3, RowMajor)
+	if mt.At(0, 0) != 0 || mt.At(0, 2) != 2 || mt.At(1, 0) != 3 || mt.At(1, 2) != 5 {
+		t.Fatalf("row-major At wrong: %v", mt)
+	}
+	mt.Set(1, 1, 42)
+	if data[4] != 42 {
+		t.Fatalf("Set did not write through: %v", data)
+	}
+}
+
+func TestMatrixViewColMajor(t *testing.T) {
+	data := []int{0, 1, 2, 3, 4, 5}
+	mt := NewMatrix(data, 2, 3, ColMajor)
+	if mt.At(0, 0) != 0 || mt.At(1, 0) != 1 || mt.At(0, 1) != 2 || mt.At(1, 2) != 5 {
+		t.Fatalf("col-major At wrong: %v", mt)
+	}
+}
+
+func TestMatrixReinterpret(t *testing.T) {
+	data := make([]int, 12)
+	for i := range data {
+		data[i] = i
+	}
+	mt := NewMatrix(data, 3, 4, RowMajor)
+	rt := mt.Reinterpret(4, 3, RowMajor)
+	if rt.At(0, 2) != 2 || rt.At(3, 0) != 9 {
+		t.Fatalf("reinterpret view wrong")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad shape", func() { NewMatrix([]int{}, 0, 3, RowMajor) })
+	mustPanic("bad length", func() { NewMatrix(make([]int, 5), 2, 3, RowMajor) })
+	mustPanic("oob index", func() {
+		mt := NewMatrix(make([]int, 6), 2, 3, RowMajor)
+		mt.At(2, 0)
+	})
+	mustPanic("negative index", func() {
+		mt := NewMatrix(make([]int, 6), 2, 3, RowMajor)
+		mt.At(0, -1)
+	})
+	mustPanic("bad reinterpret", func() {
+		mt := NewMatrix(make([]int, 6), 2, 3, RowMajor)
+		mt.Reinterpret(2, 4, RowMajor)
+	})
+}
+
+func TestShape(t *testing.T) {
+	s := Shape{Rows: 3, Cols: 8}
+	if !s.Valid() || s.Len() != 24 || s.String() != "3x8" {
+		t.Fatalf("shape basics wrong: %v", s)
+	}
+	tr := s.Transposed()
+	if tr.Rows != 8 || tr.Cols != 3 {
+		t.Fatalf("transposed shape wrong: %v", tr)
+	}
+	if (Shape{Rows: 0, Cols: 4}).Valid() {
+		t.Fatal("zero-row shape must be invalid")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if RowMajor.String() != "row-major" || ColMajor.String() != "col-major" {
+		t.Fatal("order strings wrong")
+	}
+	if Order(7).String() != "Order(7)" {
+		t.Fatal("unknown order string wrong")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	mt := NewMatrix([]int{1, 2, 3, 4}, 2, 2, RowMajor)
+	want := "1\t2\n3\t4\n"
+	if got := mt.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,201 @@
+package mathutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCDBasics(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{7, 0, 7},
+		{1, 1, 1},
+		{12, 8, 4},
+		{8, 12, 4},
+		{25000, 17500, 2500},
+		{-12, 8, 4},
+		{12, -8, 4},
+		{-12, -8, 4},
+		{1, 999999937, 1},
+		{2 * 3 * 5 * 7, 3 * 7 * 11, 21},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		g := GCD(int(a), int(b))
+		if a == 0 && b == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		return int(a)%g == 0 && int(b)%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtGCDBezout(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if a == 0 && b == 0 {
+			return true
+		}
+		g, x, y := ExtGCD(int(a), int(b))
+		return int(a)*x+int(b)*y == g && g == GCD(int(a), int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for y := 1; y <= 60; y++ {
+		for x := 1; x <= 60; x++ {
+			inv, ok := ModInverse(x, y)
+			if GCD(x, y) != 1 {
+				if ok {
+					t.Fatalf("ModInverse(%d,%d) reported ok for non-coprime args", x, y)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("ModInverse(%d,%d) failed for coprime args", x, y)
+			}
+			if y == 1 {
+				if inv != 0 {
+					t.Fatalf("ModInverse(%d,1) = %d, want 0", x, inv)
+				}
+				continue
+			}
+			if inv < 0 || inv >= y {
+				t.Fatalf("ModInverse(%d,%d) = %d out of range", x, y, inv)
+			}
+			if x*inv%y != 1 {
+				t.Fatalf("ModInverse(%d,%d) = %d, product %d mod %d != 1", x, y, inv, x*inv, y)
+			}
+		}
+	}
+}
+
+func TestModInverseNegativeAndLargeX(t *testing.T) {
+	inv, ok := ModInverse(-3, 7) // -3 ≡ 4 (mod 7), inverse of 4 is 2
+	if !ok || inv != 2 {
+		t.Fatalf("ModInverse(-3,7) = %d,%v want 2,true", inv, ok)
+	}
+	inv, ok = ModInverse(10, 7) // 10 ≡ 3, inverse 5
+	if !ok || inv != 5 {
+		t.Fatalf("ModInverse(10,7) = %d,%v want 5,true", inv, ok)
+	}
+	if _, ok := ModInverse(4, 0); ok {
+		t.Fatal("ModInverse(4,0) must fail")
+	}
+}
+
+func TestDividerSmallExhaustive(t *testing.T) {
+	for d := 1; d <= 128; d++ {
+		v := NewDivider(d)
+		for x := 0; x <= 4096; x++ {
+			if got, want := v.Div(x), x/d; got != want {
+				t.Fatalf("Divider(%d).Div(%d) = %d, want %d", d, x, got, want)
+			}
+			if got, want := v.Mod(x), x%d; got != want {
+				t.Fatalf("Divider(%d).Mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDividerRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20000; trial++ {
+		d := 1 + rng.Intn(1<<26)
+		x := rng.Intn(1 << 50)
+		v := NewDivider(d)
+		q, r := v.DivMod(x)
+		if q != x/d || r != x%d {
+			t.Fatalf("Divider(%d).DivMod(%d) = (%d,%d), want (%d,%d)", d, x, q, r, x/d, x%d)
+		}
+	}
+}
+
+func TestDividerHugeDividends(t *testing.T) {
+	// Exercise the fallback path guard: dividends near 2^62.
+	for _, d := range []int{3, 7, 11, 25000, 1<<31 - 1, 1<<40 + 9} {
+		v := NewDivider(d)
+		for _, x := range []int{0, 1, d - 1, d, d + 1, 1<<62 - 1, 1 << 61, 1<<62 - d} {
+			if got, want := v.Div(x), x/d; got != want {
+				t.Fatalf("Divider(%d).Div(%d) = %d, want %d", d, x, got, want)
+			}
+			if got, want := v.Mod(x), x%d; got != want {
+				t.Fatalf("Divider(%d).Mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDividerPosMod(t *testing.T) {
+	v := NewDivider(7)
+	for x := -6; x < 40; x++ {
+		want := ((x % 7) + 7) % 7
+		if got := v.PosMod(x); got != want {
+			t.Fatalf("PosMod(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestNewDividerPanics(t *testing.T) {
+	for _, d := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDivider(%d) did not panic", d)
+				}
+			}()
+			NewDivider(d)
+		}()
+	}
+}
+
+func TestDividerPowersOfTwo(t *testing.T) {
+	for s := 0; s < 40; s++ {
+		d := 1 << s
+		v := NewDivider(d)
+		for _, x := range []int{0, 1, d - 1, d, d + 1, 3*d + 5, 1<<62 - 1} {
+			if x < 0 {
+				continue
+			}
+			if got, want := v.Div(x), x/d; got != want {
+				t.Fatalf("Divider(2^%d).Div(%d) = %d, want %d", s, x, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkDividerDiv(b *testing.B) {
+	v := NewDivider(25007)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += v.Div(i)
+	}
+	sink = s
+}
+
+func BenchmarkHardwareDiv(b *testing.B) {
+	d := 25007
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += i / d
+	}
+	sink = s
+}
+
+var sink int

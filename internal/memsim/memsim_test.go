@@ -1,0 +1,162 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func addrs32(f func(l int) int64) []int64 {
+	a := make([]int64, 32)
+	for l := range a {
+		a[l] = f(l)
+	}
+	return a
+}
+
+func TestFullyCoalescedLoad(t *testing.T) {
+	m := New(K20c())
+	// 32 lanes × 8 bytes contiguous = 256 bytes = exactly 2 lines.
+	m.Load(addrs32(func(l int) int64 { return int64(l) * 8 }), 8)
+	s := m.Stats()
+	if s.Transactions != 2 {
+		t.Fatalf("transactions = %d, want 2", s.Transactions)
+	}
+	if s.TransactedBytes != 256 || s.UsefulBytes != 256 {
+		t.Fatalf("bytes = %d/%d, want 256/256", s.UsefulBytes, s.TransactedBytes)
+	}
+	if s.Efficiency != 1 {
+		t.Fatalf("efficiency = %f, want 1", s.Efficiency)
+	}
+}
+
+func TestFullyStridedLoad(t *testing.T) {
+	m := New(K20c())
+	// 32 lanes strided by a full line: one transaction per lane.
+	m.Load(addrs32(func(l int) int64 { return int64(l) * 128 }), 8)
+	s := m.Stats()
+	if s.Transactions != 32 {
+		t.Fatalf("transactions = %d, want 32", s.Transactions)
+	}
+	if s.Efficiency != float64(256)/float64(32*128) {
+		t.Fatalf("efficiency = %f", s.Efficiency)
+	}
+}
+
+func TestStrideWithinLines(t *testing.T) {
+	m := New(K20c())
+	// Stride 32 bytes: 4 lanes share a line -> 8 transactions.
+	m.Load(addrs32(func(l int) int64 { return int64(l) * 32 }), 8)
+	if s := m.Stats(); s.Transactions != 8 {
+		t.Fatalf("transactions = %d, want 8", s.Transactions)
+	}
+}
+
+func TestAccessStraddlingLines(t *testing.T) {
+	m := New(K20c())
+	// A 16-byte access at offset 120 touches two lines.
+	m.Load([]int64{120}, 16)
+	if s := m.Stats(); s.Transactions != 2 {
+		t.Fatalf("transactions = %d, want 2", s.Transactions)
+	}
+}
+
+func TestInactiveLanes(t *testing.T) {
+	m := New(K20c())
+	a := addrs32(func(l int) int64 { return int64(l) * 8 })
+	for l := 16; l < 32; l++ {
+		a[l] = -1
+	}
+	m.Load(a, 8)
+	s := m.Stats()
+	if s.UsefulBytes != 128 {
+		t.Fatalf("useful = %d, want 128", s.UsefulBytes)
+	}
+	if s.Transactions != 1 {
+		t.Fatalf("transactions = %d, want 1", s.Transactions)
+	}
+}
+
+func TestWriteAllocatePenalty(t *testing.T) {
+	cfg := K20c()
+	m := New(cfg)
+	// Fully covered line: no penalty.
+	m.Store(addrs32(func(l int) int64 { return int64(l) * 8 }), 8)
+	s := m.Stats()
+	if s.TransactedBytes != 256 {
+		t.Fatalf("covered store transacted = %d, want 256", s.TransactedBytes)
+	}
+	m.Reset()
+	// One 8-byte store into a line: fill read doubles the traffic.
+	m.Store([]int64{0}, 8)
+	s = m.Stats()
+	if s.TransactedBytes != 256 {
+		t.Fatalf("partial store transacted = %d, want 256 (RMW)", s.TransactedBytes)
+	}
+	// Without write-allocate the partial store moves one line.
+	cfg.WriteAllocate = false
+	m2 := New(cfg)
+	m2.Store([]int64{0}, 8)
+	if s := m2.Stats(); s.TransactedBytes != 128 {
+		t.Fatalf("no-writealloc store transacted = %d, want 128", s.TransactedBytes)
+	}
+}
+
+func TestBandwidthModel(t *testing.T) {
+	cfg := Config{LineBytes: 128, PeakGBps: 100, IssueNs: 1}
+	m := New(cfg)
+	// 10 coalesced loads of 256 useful bytes each: 2560 bytes, 5120...
+	for i := 0; i < 10; i++ {
+		m.Load(addrs32(func(l int) int64 { return int64(l) * 8 }), 8)
+	}
+	s := m.Stats()
+	// DRAM time = 2560/100 = 25.6 ns; issue time = 10 ns -> DRAM-bound.
+	if math.Abs(s.DRAMTimeNs-25.6) > 1e-9 {
+		t.Fatalf("dram time = %f", s.DRAMTimeNs)
+	}
+	if math.Abs(s.EffectiveGBps-100) > 1e-9 {
+		t.Fatalf("effective = %f, want 100 (peak)", s.EffectiveGBps)
+	}
+	// Add ALU pressure until issue-bound.
+	m.ALU(100)
+	s = m.Stats()
+	if s.IssueTimeNs != 110 {
+		t.Fatalf("issue time = %f, want 110", s.IssueTimeNs)
+	}
+	want := 2560.0 / 110.0
+	if math.Abs(s.EffectiveGBps-want) > 1e-9 {
+		t.Fatalf("effective = %f, want %f", s.EffectiveGBps, want)
+	}
+}
+
+func TestResetAndCounters(t *testing.T) {
+	m := New(K20c())
+	m.Load(addrs32(func(l int) int64 { return int64(l) * 8 }), 8)
+	m.Store(addrs32(func(l int) int64 { return int64(l) * 8 }), 8)
+	m.ALU(7)
+	s := m.Stats()
+	if s.Loads != 1 || s.Stores != 1 || s.ALU != 7 {
+		t.Fatalf("counters = %+v", s)
+	}
+	m.Reset()
+	s = m.Stats()
+	if s.Loads != 0 || s.Stores != 0 || s.ALU != 0 || s.Transactions != 0 || s.EffectiveGBps != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid config")
+		}
+	}()
+	New(Config{LineBytes: 0, PeakGBps: 100})
+}
+
+func TestStatsString(t *testing.T) {
+	m := New(K20c())
+	m.Load(addrs32(func(l int) int64 { return int64(l) * 8 }), 8)
+	if got := m.Stats().String(); got == "" {
+		t.Fatal("empty stats string")
+	}
+}

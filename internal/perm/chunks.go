@@ -1,0 +1,81 @@
+package perm
+
+import "inplace/internal/mathutil"
+
+// RotateChunksStrided treats the strided sequence of sub-rows
+// x[base+i*stride : base+i*stride+w] for i in [0, count) as a vector of
+// chunks and rotates it up by r chunks in place via the analytic rotation
+// cycles, moving whole sub-rows through the caller's spare buffer.
+//
+// This is the coarse phase of the cache-aware column rotation (§4.6): a
+// group of w adjacent columns of a row-major m×n array is the chunk
+// sequence with base = firstColumn, stride = n, count = m, and rotating it
+// by the group's common amount moves cache-line-wide sub-rows instead of
+// single strided elements.
+func RotateChunksStrided[T any](x []T, base, stride, w, count, r int, spare []T) {
+	if count == 0 || w == 0 {
+		return
+	}
+	if len(spare) < w {
+		panic("perm: RotateChunksStrided spare buffer too small")
+	}
+	r %= count
+	if r < 0 {
+		r += count
+	}
+	if r == 0 {
+		return
+	}
+	z := mathutil.GCD(count, r)
+	clen := count / z
+	for y := 0; y < z; y++ {
+		src := base + y*stride
+		copy(spare, x[src:src+w])
+		pos := y
+		for s := 1; s < clen; s++ {
+			next := pos + r
+			if next >= count {
+				next -= count
+			}
+			dst := base + pos*stride
+			from := base + next*stride
+			copy(x[dst:dst+w], x[from:from+w])
+			pos = next
+		}
+		dst := base + pos*stride
+		copy(x[dst:dst+w], spare[:w])
+	}
+}
+
+// GatherChunksStrided permutes the strided sub-rows of x in place so that
+// afterwards chunk i holds the old contents of chunk p[i], following the
+// cycles described by the precomputed leaders and lengths (from
+// P.Leaders). A single spare chunk buffer of at least w elements is
+// needed.
+//
+// This is the cache-aware row permute of §4.7: all rows are permuted
+// identically by q, so one set of cycle descriptors drives whole-sub-row
+// moves for every column group.
+func GatherChunksStrided[T any](x []T, base, stride, w int, p P, leaders, lengths []int, spare []T) {
+	if w == 0 {
+		return
+	}
+	if len(spare) < w {
+		panic("perm: GatherChunksStrided spare buffer too small")
+	}
+	for ci, start := range leaders {
+		n := lengths[ci]
+		src := base + start*stride
+		copy(spare, x[src:src+w])
+		pos := start
+		for s := 1; s < n; s++ {
+			next := p[pos]
+			dst := base + pos*stride
+			from := base + next*stride
+			copy(x[dst:dst+w], x[from:from+w])
+			pos = next
+		}
+		dst := base + pos*stride
+		copy(x[dst:dst+w], spare[:w])
+	}
+}

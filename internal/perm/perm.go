@@ -1,0 +1,205 @@
+// Package perm provides the permutation substrate for the decomposed
+// transposition: permutation objects with composition, inversion and cycle
+// decomposition, gather/scatter application, and slice rotation both by
+// reversal and by the paper's analytic rotation cycles (§4.6).
+package perm
+
+import "fmt"
+
+// P represents a permutation of [0, len(p)) in one-line notation:
+// p[i] is the image of i. Used as a gather map, the permuted sequence is
+// out[i] = in[p[i]]; as a scatter map, out[p[i]] = in[i].
+type P []int
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) P {
+	p := make(P, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// FromFunc builds a permutation of n elements from an index function.
+// The result is not validated; call Valid if f is untrusted.
+func FromFunc(n int, f func(int) int) P {
+	p := make(P, n)
+	for i := range p {
+		p[i] = f(i)
+	}
+	return p
+}
+
+// Valid reports whether p is a bijection on [0, len(p)).
+func (p P) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns the inverse permutation q with q[p[i]] = i.
+// It panics if p is not a valid permutation.
+func (p P) Inverse() P {
+	q := make(P, len(p))
+	for i := range q {
+		q[i] = -1
+	}
+	for i, v := range p {
+		if v < 0 || v >= len(p) || q[v] != -1 {
+			panic("perm: Inverse of a non-permutation")
+		}
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns the composition r = p∘q, r[i] = p[q[i]]. Gathering with
+// r is equivalent to gathering with p first and then with q, matching the
+// composition rule in the paper's §4.2. Both arguments must have the same
+// length.
+func (p P) Compose(q P) P {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: Compose length mismatch %d vs %d", len(p), len(q)))
+	}
+	r := make(P, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Equal reports whether two permutations are identical.
+func (p P) Equal(q P) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether p fixes every element.
+func (p P) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycles returns the cycle decomposition of p, with each cycle led by its
+// smallest element and cycles ordered by leader. Fixed points are included
+// as length-1 cycles.
+func (p P) Cycles() [][]int {
+	visited := make([]bool, len(p))
+	var cycles [][]int
+	for i := range p {
+		if visited[i] {
+			continue
+		}
+		cycle := []int{i}
+		visited[i] = true
+		for j := p[i]; j != i; j = p[j] {
+			visited[j] = true
+			cycle = append(cycle, j)
+		}
+		cycles = append(cycles, cycle)
+	}
+	return cycles
+}
+
+// Leaders returns, for each cycle of length > 1, its smallest element and
+// the cycle length. This is the compact cycle descriptor the cache-aware
+// row permute stores in its temporary buffer (paper §4.7): at most
+// len(p)/2 non-trivial cycles exist, so the descriptors always fit in
+// O(len(p)) auxiliary storage.
+func (p P) Leaders() (leaders, lengths []int) {
+	visited := make([]bool, len(p))
+	for i := range p {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		n := 1
+		for j := p[i]; j != i; j = p[j] {
+			visited[j] = true
+			n++
+		}
+		if n > 1 {
+			leaders = append(leaders, i)
+			lengths = append(lengths, n)
+		}
+	}
+	return leaders, lengths
+}
+
+// Gather applies p as a gather: dst[i] = src[p[i]]. dst and src must not
+// alias and must have the same length as p.
+func Gather[T any](dst, src []T, p P) {
+	if len(dst) != len(p) || len(src) != len(p) {
+		panic("perm: Gather length mismatch")
+	}
+	for i, v := range p {
+		dst[i] = src[v]
+	}
+}
+
+// Scatter applies p as a scatter: dst[p[i]] = src[i]. dst and src must not
+// alias and must have the same length as p.
+func Scatter[T any](dst, src []T, p P) {
+	if len(dst) != len(p) || len(src) != len(p) {
+		panic("perm: Scatter length mismatch")
+	}
+	for i, v := range p {
+		dst[v] = src[i]
+	}
+}
+
+// GatherInPlace permutes x in place so that afterwards x'[i] = x_old[p[i]],
+// following the cycles of p with O(1) extra element storage plus a visited
+// bitmap. This is the traditional cycle-following formulation the paper's
+// decomposition avoids on the full mn-element permutation but reuses for
+// the restricted row permute (§4.7).
+func GatherInPlace[T any](x []T, p P, visited []bool) {
+	if len(x) != len(p) {
+		panic("perm: GatherInPlace length mismatch")
+	}
+	if visited == nil {
+		visited = make([]bool, len(p))
+	} else {
+		if len(visited) < len(p) {
+			panic("perm: visited buffer too small")
+		}
+		for i := range visited[:len(p)] {
+			visited[i] = false
+		}
+	}
+	for start := range p {
+		if visited[start] || p[start] == start {
+			continue
+		}
+		// Walk the cycle: position start receives x[p[start]], which
+		// in turn receives x[p[p[start]]], and so on.
+		tmp := x[start]
+		i := start
+		for {
+			visited[i] = true
+			next := p[i]
+			if next == start {
+				x[i] = tmp
+				break
+			}
+			x[i] = x[next]
+			i = next
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package perm
+
+import "testing"
+
+func TestFromFunc(t *testing.T) {
+	p := FromFunc(5, func(i int) int { return (i + 2) % 5 })
+	if !p.Valid() {
+		t.Fatal("rotation map must be a permutation")
+	}
+	for i, v := range p {
+		if v != (i+2)%5 {
+			t.Fatalf("FromFunc wrong at %d", i)
+		}
+	}
+	if len(FromFunc(0, func(i int) int { return i })) != 0 {
+		t.Fatal("FromFunc(0) must be empty")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := P{2, 0, 1}
+	if !a.Equal(P{2, 0, 1}) {
+		t.Fatal("identical permutations must be equal")
+	}
+	if a.Equal(P{0, 1, 2}) {
+		t.Fatal("different permutations must not be equal")
+	}
+	if a.Equal(P{2, 0}) {
+		t.Fatal("different lengths must not be equal")
+	}
+	if !Identity(4).Equal(Identity(4)) {
+		t.Fatal("identities must be equal")
+	}
+}
+
+func TestRotGather(t *testing.T) {
+	// RotGather assumes i in [0,m) and r in [0,m): the sum wraps at most
+	// once.
+	for m := 1; m <= 10; m++ {
+		for r := 0; r < m; r++ {
+			for i := 0; i < m; i++ {
+				if got, want := RotGather(i, r, m), (i+r)%m; got != want {
+					t.Fatalf("RotGather(%d,%d,%d) = %d, want %d", i, r, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestComposeLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose length mismatch must panic")
+		}
+	}()
+	P{0, 1}.Compose(P{0})
+}
+
+func TestGatherScatterLengthPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"gather-dst":  func() { Gather(make([]int, 2), make([]int, 3), P{0, 1, 2}) },
+		"gather-src":  func() { Gather(make([]int, 3), make([]int, 2), P{0, 1, 2}) },
+		"scatter-dst": func() { Scatter(make([]int, 2), make([]int, 3), P{0, 1, 2}) },
+		"in-place":    func() { GatherInPlace(make([]int, 2), P{0, 1, 2}, nil) },
+		"visited":     func() { GatherInPlace(make([]int, 3), P{0, 1, 2}, make([]bool, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRotationCycleCountZeroRotation(t *testing.T) {
+	if RotationCycleCount(7, 0) != 7 {
+		t.Fatal("zero rotation has m fixed points")
+	}
+	if RotationCycleCount(7, 14) != 7 {
+		t.Fatal("full-multiple rotation has m fixed points")
+	}
+	if RotationCycleCount(6, -2) != 2 {
+		t.Fatal("negative rotation must normalize")
+	}
+}
+
+func TestRotationCycleElementNegative(t *testing.T) {
+	// Negative rotation amounts normalize before the formula applies.
+	if got, want := RotationCycleElement(0, 1, 6, -2), (0+1*(6-4))%6; got != want {
+		t.Fatalf("RotationCycleElement = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,214 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPerm(rng *rand.Rand, n int) P {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if !p.Valid() || !p.IsIdentity() {
+		t.Fatalf("Identity(5) = %v", p)
+	}
+	if !Identity(0).IsIdentity() {
+		t.Fatal("Identity(0) must be identity")
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		p    P
+		want bool
+	}{
+		{P{}, true},
+		{P{0}, true},
+		{P{1, 0, 2}, true},
+		{P{1, 1, 2}, false},
+		{P{0, 3}, false},
+		{P{-1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		p := randomPerm(rng, n)
+		q := p.Inverse()
+		if !p.Compose(q).IsIdentity() || !q.Compose(p).IsIdentity() {
+			t.Fatalf("inverse failed for %v", p)
+		}
+	}
+}
+
+func TestInversePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inverse of non-permutation did not panic")
+		}
+	}()
+	P{0, 0}.Inverse()
+}
+
+func TestComposeMatchesSequentialGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		p := randomPerm(rng, n)
+		q := randomPerm(rng, n)
+		src := make([]int, n)
+		for i := range src {
+			src[i] = rng.Int()
+		}
+		// gather with p, then gather with q
+		mid := make([]int, n)
+		out1 := make([]int, n)
+		Gather(mid, src, p)
+		Gather(out1, mid, q)
+		// gather with p∘q in one step
+		out2 := make([]int, n)
+		Gather(out2, src, p.Compose(q))
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatalf("compose mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestGatherScatterInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		p := randomPerm(rng, n)
+		src := make([]int, n)
+		for i := range src {
+			src[i] = i * 7
+		}
+		g := make([]int, n)
+		back := make([]int, n)
+		Gather(g, src, p)
+		Scatter(back, g, p)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("scatter did not invert gather at %d", i)
+			}
+		}
+	}
+}
+
+func TestGatherInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		p := randomPerm(rng, n)
+		x := make([]int, n)
+		want := make([]int, n)
+		for i := range x {
+			x[i] = rng.Int()
+		}
+		Gather(want, x, p)
+		var visited []bool
+		if trial%2 == 0 {
+			visited = make([]bool, n)
+		}
+		GatherInPlace(x, p, visited)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("GatherInPlace mismatch n=%d trial=%d", n, trial)
+			}
+		}
+	}
+}
+
+func TestGatherInPlaceReusedVisited(t *testing.T) {
+	// The visited buffer must be cleared between uses.
+	p := P{1, 0, 2}
+	x := []int{10, 20, 30}
+	visited := []bool{true, true, true} // stale
+	GatherInPlace(x, p, visited)
+	if x[0] != 20 || x[1] != 10 || x[2] != 30 {
+		t.Fatalf("stale visited buffer not cleared: %v", x)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := P{1, 2, 0, 3, 5, 4}
+	cycles := p.Cycles()
+	if len(cycles) != 3 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if len(cycles[0]) != 3 || cycles[0][0] != 0 {
+		t.Fatalf("first cycle = %v", cycles[0])
+	}
+	if len(cycles[1]) != 1 || cycles[1][0] != 3 {
+		t.Fatalf("second cycle = %v", cycles[1])
+	}
+	if len(cycles[2]) != 2 || cycles[2][0] != 4 {
+		t.Fatalf("third cycle = %v", cycles[2])
+	}
+}
+
+func TestLeadersBound(t *testing.T) {
+	// Non-trivial cycle count is at most n/2 (paper §4.7).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(100)
+		p := randomPerm(rng, n)
+		leaders, lengths := p.Leaders()
+		if len(leaders) != len(lengths) {
+			t.Fatal("leaders/lengths length mismatch")
+		}
+		if len(leaders) > n/2 {
+			t.Fatalf("n=%d: %d non-trivial cycles exceeds n/2", n, len(leaders))
+		}
+		total := 0
+		for _, l := range lengths {
+			if l < 2 {
+				t.Fatalf("leader with trivial length %d", l)
+			}
+			total += l
+		}
+		if total > n {
+			t.Fatalf("cycle lengths sum %d exceeds n=%d", total, n)
+		}
+	}
+}
+
+func TestCyclesCoverAllElements(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		p := randomPerm(rng, n)
+		seen := make([]bool, n)
+		for _, c := range p.Cycles() {
+			for _, e := range c {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package perm
+
+import "inplace/internal/mathutil"
+
+// RotGather returns the gather index for rotating a vector of length m up
+// by r places: a rotated vector x' satisfies x'[i] = x[(i+r) mod m]
+// (the paper's definition of column rotation, above Equation 23).
+func RotGather(i, r, m int) int {
+	v := i + r
+	if v >= m {
+		v -= m
+	}
+	return v
+}
+
+// Rotate rotates x up by r places in place using the three-reversal
+// identity: afterwards x[i] = x_old[(i+r) mod len(x)]. r may be any
+// integer; it is reduced modulo len(x).
+func Rotate[T any](x []T, r int) {
+	m := len(x)
+	if m == 0 {
+		return
+	}
+	r %= m
+	if r < 0 {
+		r += m
+	}
+	if r == 0 {
+		return
+	}
+	reverse(x[:r])
+	reverse(x[r:])
+	reverse(x)
+}
+
+func reverse[T any](x []T) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// RotationCycleCount returns z = gcd(m, r), the number of cycles in the
+// permutation that rotates m elements by r places (paper §4.6). Each cycle
+// has length m/z.
+func RotationCycleCount(m, r int) int {
+	r %= m
+	if r < 0 {
+		r += m
+	}
+	if r == 0 {
+		return m
+	}
+	return mathutil.GCD(m, r)
+}
+
+// RotationCycleElement evaluates the paper's analytic cycle formula
+// l_y(x) = (y + x*(m-r)) mod m for cycle y ∈ [0, z) and step x ∈ [0, m/z).
+// Following a cycle in increasing x visits exactly the positions whose
+// values shift by r, so no cycle descriptors need precomputing.
+func RotationCycleElement(y, x, m, r int) int {
+	r %= m
+	if r < 0 {
+		r += m
+	}
+	return (y + x*(m-r)) % m
+}
+
+// RotateCycles rotates x up by r places in place by following the
+// analytic rotation cycles with a single element of extra storage per
+// cycle. It produces the same result as Rotate but moves each element
+// exactly once, which is the access pattern the cache-aware coarse
+// rotation uses on cache-line-wide sub-rows.
+func RotateCycles[T any](x []T, r int) {
+	m := len(x)
+	if m == 0 {
+		return
+	}
+	r %= m
+	if r < 0 {
+		r += m
+	}
+	if r == 0 {
+		return
+	}
+	z := mathutil.GCD(m, r)
+	clen := m / z
+	for y := 0; y < z; y++ {
+		// Position l_y(x) receives the value from l_y(x+1):
+		// dest (y + x(m-r)) gathers from (y + (x+1)(m-r)) = dest - r mod m,
+		// i.e. dest receives x_old[dest + r mod m] as required.
+		tmp := x[y]
+		pos := y
+		for s := 1; s < clen; s++ {
+			next := pos + r
+			if next >= m {
+				next -= m
+			}
+			x[pos] = x[next]
+			pos = next
+		}
+		x[pos] = tmp
+	}
+}
+
+// RotateStrided rotates the strided vector x[off], x[off+stride], ...
+// (count elements) up by r places in place via analytic cycles. It is the
+// column-rotation primitive for row-major arrays, where column j of an
+// m×n matrix is the stride-n vector starting at offset j.
+func RotateStrided[T any](x []T, off, stride, count, r int) {
+	if count == 0 {
+		return
+	}
+	r %= count
+	if r < 0 {
+		r += count
+	}
+	if r == 0 {
+		return
+	}
+	z := mathutil.GCD(count, r)
+	clen := count / z
+	for y := 0; y < z; y++ {
+		tmp := x[off+y*stride]
+		pos := y
+		for s := 1; s < clen; s++ {
+			next := pos + r
+			if next >= count {
+				next -= count
+			}
+			x[off+pos*stride] = x[off+next*stride]
+			pos = next
+		}
+		x[off+pos*stride] = tmp
+	}
+}
+
+// RotateChunks treats x as count contiguous chunks of w elements each and
+// rotates the chunk sequence up by r chunks in place via analytic cycles,
+// moving whole chunks through a caller-provided spare buffer of at least w
+// elements. This is the coarse cache-aware rotation of §4.6: when w spans
+// a cache line, every move reads and writes a full line.
+func RotateChunks[T any](x []T, w, count, r int, spare []T) {
+	if count == 0 || w == 0 {
+		return
+	}
+	if len(x) < w*count {
+		panic("perm: RotateChunks buffer too small")
+	}
+	if len(spare) < w {
+		panic("perm: RotateChunks spare buffer too small")
+	}
+	r %= count
+	if r < 0 {
+		r += count
+	}
+	if r == 0 {
+		return
+	}
+	z := mathutil.GCD(count, r)
+	clen := count / z
+	for y := 0; y < z; y++ {
+		copy(spare, x[y*w:y*w+w])
+		pos := y
+		for s := 1; s < clen; s++ {
+			next := pos + r
+			if next >= count {
+				next -= count
+			}
+			copy(x[pos*w:pos*w+w], x[next*w:next*w+w])
+			pos = next
+		}
+		copy(x[pos*w:pos*w+w], spare[:w])
+	}
+}

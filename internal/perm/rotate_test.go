@@ -1,0 +1,232 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+
+	"inplace/internal/mathutil"
+)
+
+func rotatedReference(x []int, r int) []int {
+	m := len(x)
+	out := make([]int, m)
+	if m == 0 {
+		return out
+	}
+	r %= m
+	if r < 0 {
+		r += m
+	}
+	for i := range out {
+		out[i] = x[(i+r)%m]
+	}
+	return out
+}
+
+func seq(n int) []int {
+	x := make([]int, n)
+	for i := range x {
+		x[i] = i
+	}
+	return x
+}
+
+func TestRotateMatchesReference(t *testing.T) {
+	for m := 0; m <= 20; m++ {
+		for r := -2 * m; r <= 2*m+3; r++ {
+			x := seq(m)
+			want := rotatedReference(x, r)
+			Rotate(x, r)
+			for i := range x {
+				if x[i] != want[i] {
+					t.Fatalf("Rotate(m=%d, r=%d) = %v, want %v", m, r, x, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRotateCyclesMatchesRotate(t *testing.T) {
+	for m := 0; m <= 24; m++ {
+		for r := 0; r <= m+2; r++ {
+			a := seq(m)
+			b := seq(m)
+			Rotate(a, r)
+			RotateCycles(b, r)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("RotateCycles(m=%d, r=%d) = %v, want %v", m, r, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestRotationCycleFormula(t *testing.T) {
+	// The analytic cycles l_y(x) = (y + x(m-r)) mod m must partition [0,m)
+	// and stepping a cycle must advance source positions by +r.
+	for m := 1; m <= 30; m++ {
+		for r := 1; r < m; r++ {
+			z := RotationCycleCount(m, r)
+			if z != mathutil.GCD(m, r) {
+				t.Fatalf("cycle count m=%d r=%d: got %d", m, r, z)
+			}
+			clen := m / z
+			seen := make([]bool, m)
+			for y := 0; y < z; y++ {
+				for x := 0; x < clen; x++ {
+					e := RotationCycleElement(y, x, m, r)
+					if e < 0 || e >= m || seen[e] {
+						t.Fatalf("m=%d r=%d: element %d repeated or out of range", m, r, e)
+					}
+					seen[e] = true
+					// successor within the cycle differs by -r ≡ (m-r)
+					next := RotationCycleElement(y, (x+1)%clen, m, r)
+					if (e+(m-r))%m != next {
+						t.Fatalf("m=%d r=%d: cycle step broken at y=%d x=%d", m, r, y, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRotateStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		count := 1 + rng.Intn(20)
+		stride := 1 + rng.Intn(5)
+		off := rng.Intn(4)
+		r := rng.Intn(3 * count)
+		x := seq(off + count*stride + 3)
+		orig := append([]int(nil), x...)
+		RotateStrided(x, off, stride, count, r)
+		// strided positions must be rotated; all others untouched
+		for i := 0; i < count; i++ {
+			want := orig[off+((i+r)%count)*stride]
+			if x[off+i*stride] != want {
+				t.Fatalf("strided rotate wrong at %d (count=%d stride=%d off=%d r=%d)", i, count, stride, off, r)
+			}
+		}
+		touched := make(map[int]bool)
+		for i := 0; i < count; i++ {
+			touched[off+i*stride] = true
+		}
+		for i := range x {
+			if !touched[i] && x[i] != orig[i] {
+				t.Fatalf("strided rotate disturbed offset %d", i)
+			}
+		}
+	}
+}
+
+func TestRotateChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + rng.Intn(6)
+		count := 1 + rng.Intn(16)
+		r := rng.Intn(2 * count)
+		x := seq(w * count)
+		orig := append([]int(nil), x...)
+		spare := make([]int, w)
+		RotateChunks(x, w, count, r, spare)
+		for i := 0; i < count; i++ {
+			srcChunk := (i + r) % count
+			for k := 0; k < w; k++ {
+				if x[i*w+k] != orig[srcChunk*w+k] {
+					t.Fatalf("chunk rotate wrong: chunk %d elem %d (w=%d count=%d r=%d)", i, k, w, count, r)
+				}
+			}
+		}
+	}
+}
+
+func TestRotateChunksStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + rng.Intn(5)
+		count := 1 + rng.Intn(14)
+		stride := w + rng.Intn(6) // stride >= w so chunks don't overlap
+		base := rng.Intn(3)
+		r := rng.Intn(2 * count)
+		x := seq(base + count*stride + w)
+		orig := append([]int(nil), x...)
+		spare := make([]int, w)
+		RotateChunksStrided(x, base, stride, w, count, r, spare)
+		for i := 0; i < count; i++ {
+			src := (i + r) % count
+			for k := 0; k < w; k++ {
+				if x[base+i*stride+k] != orig[base+src*stride+k] {
+					t.Fatalf("strided chunk rotate wrong: chunk %d elem %d", i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherChunksStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + rng.Intn(5)
+		count := 1 + rng.Intn(20)
+		stride := w + rng.Intn(4)
+		base := rng.Intn(3)
+		p := randomPerm(rng, count)
+		leaders, lengths := p.Leaders()
+		x := seq(base + count*stride + w)
+		orig := append([]int(nil), x...)
+		spare := make([]int, w)
+		GatherChunksStrided(x, base, stride, w, p, leaders, lengths, spare)
+		for i := 0; i < count; i++ {
+			src := p[i]
+			for k := 0; k < w; k++ {
+				if x[base+i*stride+k] != orig[base+src*stride+k] {
+					t.Fatalf("chunk gather wrong: chunk %d elem %d p=%v", i, k, p)
+				}
+			}
+		}
+	}
+}
+
+func TestRotateEmptyAndSpares(t *testing.T) {
+	Rotate([]int{}, 3)
+	RotateCycles([]int{}, 3)
+	RotateChunks([]int{}, 2, 0, 1, make([]int, 2))
+	RotateChunksStrided([]int{}, 0, 1, 0, 0, 1, nil)
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("small spare", func() {
+		RotateChunks(seq(6), 3, 2, 1, make([]int, 2))
+	})
+	mustPanic("small strided spare", func() {
+		RotateChunksStrided(seq(6), 0, 3, 3, 2, 1, make([]int, 2))
+	})
+	mustPanic("small gather spare", func() {
+		p := P{1, 0}
+		l, n := p.Leaders()
+		GatherChunksStrided(seq(6), 0, 3, 3, p, l, n, make([]int, 1))
+	})
+}
+
+func BenchmarkRotateReversal(b *testing.B) {
+	x := seq(1 << 16)
+	b.SetBytes(int64(len(x) * 8))
+	for i := 0; i < b.N; i++ {
+		Rotate(x, 12345)
+	}
+}
+
+func BenchmarkRotateCycles(b *testing.B) {
+	x := seq(1 << 16)
+	b.SetBytes(int64(len(x) * 8))
+	for i := 0; i < b.N; i++ {
+		RotateCycles(x, 12345)
+	}
+}

@@ -1,0 +1,135 @@
+package simd
+
+import (
+	"inplace/internal/cr"
+	"inplace/internal/memsim"
+)
+
+// Array-of-Structures access strategies (§6.2, Figures 8–9). Each
+// strategy makes every lane of the warp load or store one K-word
+// structure, identified by a per-lane structure index (unit-stride
+// accesses use consecutive indices; random accesses arbitrary ones).
+// After a load, register r of lane l holds word r of lane l's structure;
+// stores write from the same layout.
+//
+//   - Coalesced*: the paper's mechanism. The warp reads/writes the
+//     structures' words in K coalesced row passes (lane l covering word
+//     r*W+l of the warp's 32×K-word working set, so consecutive lanes
+//     touch consecutive words) and transposes in registers with
+//     R2C/C2R. Structure indices are exchanged between lanes with one
+//     shuffle per pass.
+//   - Direct*: compiler-generated element-wise access. Lane l walks its
+//     own structure a word at a time: addresses within one instruction
+//     are strided by K words, destroying coalescing as K grows.
+//   - Vector*: the hardware's fixed 128-bit vector loads/stores. Halves
+//     the instruction count of Direct but keeps the stride.
+type AccessKind int
+
+// Access strategy identifiers used by the benchmark harness.
+const (
+	AccessC2R AccessKind = iota
+	AccessDirect
+	AccessVector
+)
+
+// String names the access kind as in the paper's figure legends.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessC2R:
+		return "C2R"
+	case AccessDirect:
+		return "Direct"
+	case AccessVector:
+		return "Vector"
+	default:
+		return "Access(?)"
+	}
+}
+
+// CoalescedLoad loads idx[l]'s structure into lane l via coalesced row
+// passes followed by the in-register R2C transpose. idx must have W
+// entries; data is a word-addressed AoS buffer of K-word structures.
+func CoalescedLoad(w *Warp, p *cr.Plan, data []uint64, idx []int) {
+	K, W := w.K, w.W
+	for r := 0; r < K; r++ {
+		base := r * W
+		w.LoadRow(r, data, func(l int) int {
+			v := base + l // virtual word within the warp's working set
+			return idx[v/K]*K + v%K
+		})
+		w.mem.ALU(1) // index exchange shuffle for this pass
+	}
+	R2CRegisters(w, p)
+}
+
+// CoalescedStore stores lane l's structure to idx[l] via the in-register
+// C2R transpose followed by coalesced row passes.
+func CoalescedStore(w *Warp, p *cr.Plan, data []uint64, idx []int) {
+	K, W := w.K, w.W
+	C2RRegisters(w, p)
+	for r := 0; r < K; r++ {
+		base := r * W
+		w.StoreRow(r, data, func(l int) int {
+			v := base + l
+			return idx[v/K]*K + v%K
+		})
+		w.mem.ALU(1)
+	}
+	// Restore the lane-held layout so repeated stores observe the same
+	// register state (the hardware equivalent keeps values in registers;
+	// the cost of the restore is not charged).
+	restore(w, p)
+}
+
+// DirectLoad loads each lane's structure with per-element accesses:
+// one warp instruction per structure word, addresses strided by K words.
+func DirectLoad(w *Warp, data []uint64, idx []int) {
+	for r := 0; r < w.K; r++ {
+		r := r
+		w.LoadRow(r, data, func(l int) int { return idx[l]*w.K + r })
+	}
+}
+
+// DirectStore stores each lane's structure with per-element accesses.
+func DirectStore(w *Warp, data []uint64, idx []int) {
+	for r := 0; r < w.K; r++ {
+		r := r
+		w.StoreRow(r, data, func(l int) int { return idx[l]*w.K + r })
+	}
+}
+
+// VectorLoad loads each lane's structure with 128-bit vector accesses,
+// plus one trailing 64-bit access when K is odd.
+func VectorLoad(w *Warp, data []uint64, idx []int) {
+	r := 0
+	for ; r+1 < w.K; r += 2 {
+		r := r
+		w.LoadRowVector(r, data, func(l int) int { return idx[l]*w.K + r })
+	}
+	if r < w.K {
+		r := r
+		w.LoadRow(r, data, func(l int) int { return idx[l]*w.K + r })
+	}
+}
+
+// VectorStore stores each lane's structure with 128-bit vector accesses.
+func VectorStore(w *Warp, data []uint64, idx []int) {
+	r := 0
+	for ; r+1 < w.K; r += 2 {
+		r := r
+		w.StoreRowVector(r, data, func(l int) int { return idx[l]*w.K + r })
+	}
+	if r < w.K {
+		r := r
+		w.StoreRow(r, data, func(l int) int { return idx[l]*w.K + r })
+	}
+}
+
+// restore undoes C2RRegisters without charging instructions, used to keep
+// register state consistent across repeated modeled stores.
+func restore(w *Warp, p *cr.Plan) {
+	saved := w.mem
+	w.mem = memsim.New(saved.Config())
+	R2CRegisters(w, p)
+	w.mem = saved
+}

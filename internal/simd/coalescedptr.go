@@ -1,0 +1,47 @@
+package simd
+
+import "inplace/internal/cr"
+
+// CoalescedPtr is the Go analogue of the paper's Figure 10 interface:
+//
+//	coalesced_ptr<T> c_ptr(ptr);
+//	T loaded = *c_ptr;  // load and R2C transpose
+//	*c_ptr = value;     // C2R transpose and store
+//
+// Wrapping an Array-of-Structures pointer, every dereference routes
+// through the warp-cooperative in-register transpose, so each lane's
+// structure access is fully coalesced with no on-chip scratch memory.
+// Because the warp shape (K words per structure, W lanes) is static, the
+// decomposition plan is computed once at construction (§6.2.4).
+type CoalescedPtr struct {
+	warp *Warp
+	plan *cr.Plan
+	data []uint64 // word-addressed AoS of K-word structures
+}
+
+// NewCoalescedPtr wraps a word-addressed AoS buffer of structures with
+// w.K words each for warp-cooperative access.
+func NewCoalescedPtr(w *Warp, data []uint64) *CoalescedPtr {
+	if len(data)%w.K != 0 {
+		panic("simd: AoS buffer length is not a multiple of the structure size")
+	}
+	return &CoalescedPtr{warp: w, plan: PlanFor(w), data: data}
+}
+
+// Len returns the number of structures in the buffer.
+func (c *CoalescedPtr) Len() int { return len(c.data) / c.warp.K }
+
+// Load dereferences the pointer for the whole warp: lane l receives
+// structure idx[l] in its registers (register r = word r). Equivalent to
+// `T loaded = *c_ptr` executed by every lane.
+func (c *CoalescedPtr) Load(idx []int) {
+	CoalescedLoad(c.warp, c.plan, c.data, idx)
+}
+
+// Store writes each lane's registers to structure idx[l]. Equivalent to
+// `*c_ptr = value` executed by every lane. Structure indices must be
+// distinct within the warp, as concurrent lane stores to one structure
+// are unordered on the modeled hardware too.
+func (c *CoalescedPtr) Store(idx []int) {
+	CoalescedStore(c.warp, c.plan, c.data, idx)
+}

@@ -1,0 +1,86 @@
+package simd
+
+import (
+	"testing"
+
+	"inplace/internal/memsim"
+)
+
+func TestCoalescedPtrRoundTrip(t *testing.T) {
+	const W, K, structs = 32, 5, 160
+	mem := memsim.New(memsim.K20c())
+	w := NewWarp(W, K, mem)
+	data := make([]uint64, structs*K)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	ptr := NewCoalescedPtr(w, data)
+	if ptr.Len() != structs {
+		t.Fatalf("Len = %d, want %d", ptr.Len(), structs)
+	}
+
+	idx := make([]int, W)
+	for l := range idx {
+		idx[l] = 3*l + 1 // distinct, strided
+	}
+	ptr.Load(idx)
+	for l := 0; l < W; l++ {
+		for r := 0; r < K; r++ {
+			if got := w.Get(r, l); got != uint64(idx[l]*K+r) {
+				t.Fatalf("load: lane %d reg %d = %d", l, r, got)
+			}
+		}
+	}
+
+	// Modify in registers and store to different slots.
+	for l := 0; l < W; l++ {
+		for r := 0; r < K; r++ {
+			w.Set(r, l, uint64(9000+l*K+r))
+		}
+	}
+	dst := make([]int, W)
+	for l := range dst {
+		dst[l] = 3*l + 2
+	}
+	ptr.Store(dst)
+	for l := 0; l < W; l++ {
+		for r := 0; r < K; r++ {
+			if got := data[dst[l]*K+r]; got != uint64(9000+l*K+r) {
+				t.Fatalf("store: struct %d word %d = %d", dst[l], r, got)
+			}
+		}
+	}
+	// Untouched structures stay intact.
+	if data[0] != 0 || data[K*(structs-1)] != uint64(K*(structs-1)) {
+		t.Fatal("store disturbed unrelated structures")
+	}
+}
+
+func TestCoalescedPtrEfficiency(t *testing.T) {
+	const W, K = 32, 8
+	mem := memsim.New(memsim.K20c())
+	w := NewWarp(W, K, mem)
+	data := make([]uint64, 1024*K)
+	ptr := NewCoalescedPtr(w, data)
+	idx := make([]int, W)
+	for base := 0; base+W <= 1024; base += W {
+		for l := range idx {
+			idx[l] = base + l
+		}
+		ptr.Load(idx)
+	}
+	if s := mem.Stats(); s.Efficiency < 0.999 {
+		t.Fatalf("unit-stride coalesced_ptr loads must be fully coalesced, got %f", s.Efficiency)
+	}
+}
+
+func TestCoalescedPtrBadLength(t *testing.T) {
+	mem := memsim.New(memsim.K20c())
+	w := NewWarp(32, 3, mem)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for misaligned buffer")
+		}
+	}()
+	NewCoalescedPtr(w, make([]uint64, 10))
+}

@@ -1,0 +1,55 @@
+package simd
+
+import "inplace/internal/cr"
+
+// In-register C2R and R2C transposes (§6.2). The warp's register file is
+// a K×W array (K registers = rows, W lanes = columns): row shuffles map
+// to the shfl instruction, dynamic column rotations to the per-lane
+// barrel rotator, and the static row permutation to compile-time register
+// renaming. No on-chip scratch memory is touched.
+
+// PlanFor returns the decomposition plan for a warp's register array.
+func PlanFor(w *Warp) *cr.Plan { return cr.NewPlan(w.K, w.W) }
+
+// shflIdxCost approximates the per-shuffle index arithmetic after the
+// §6.2.4 simplifications: with n = W fixed by the architecture and
+// m = K static, the d' and d'^{-1} evaluations strength-reduce to a
+// couple of multiply-add-select operations per lane.
+const shflIdxCost = 2
+
+// C2RRegisters performs the in-place C2R transpose of the K×W register
+// array: afterwards the array holds its C2R permutation, i.e. lane-held
+// structures become the coalesced row layout. Pass the plan from PlanFor
+// (cacheable across calls, as the dimensions are static per §6.2.4).
+func C2RRegisters(w *Warp, p *cr.Plan) {
+	if p.M != w.K || p.N != w.W {
+		panic("simd: plan does not match warp shape")
+	}
+	if !p.Coprime {
+		w.RotateLanes(func(l int) int { return p.Rot(l) })
+	}
+	for r := 0; r < w.K; r++ {
+		r := r
+		w.Shfl(r, func(l int) int { return p.DPrimeInv(r, l) }, shflIdxCost)
+	}
+	w.RotateLanes(func(l int) int { return l })
+	w.RenameRows(p.Q)
+}
+
+// R2CRegisters performs the in-place R2C transpose of the register
+// array, the inverse of C2RRegisters: a coalesced row layout becomes
+// lane-held structures.
+func R2CRegisters(w *Warp, p *cr.Plan) {
+	if p.M != w.K || p.N != w.W {
+		panic("simd: plan does not match warp shape")
+	}
+	w.RenameRows(p.QInv)
+	w.RotateLanes(func(l int) int { return -l })
+	for r := 0; r < w.K; r++ {
+		r := r
+		w.Shfl(r, func(l int) int { return p.DPrime(r, l) }, shflIdxCost)
+	}
+	if !p.Coprime {
+		w.RotateLanes(func(l int) int { return -p.Rot(l) })
+	}
+}

@@ -1,0 +1,195 @@
+// Package simd simulates the SIMD processor of the paper's Section 6: a
+// warp of W lanes, each holding K registers, with a lane-shuffle
+// instruction, a select-based branch-free barrel rotator, and
+// compile-time register renaming. The in-register C2R/R2C transposes
+// built from these primitives let the warp perform arbitrary-length
+// vector (Array-of-Structures) memory accesses at full coalescing
+// efficiency, without any on-chip scratch memory — the paper's
+// coalesced_ptr<T> mechanism.
+//
+// The simulator moves real data (so every transpose is checkable
+// element-for-element) while charging each primitive's instruction and
+// memory-transaction cost to a memsim.Memory, from which the Figure 8–9
+// bandwidth model is derived.
+package simd
+
+import (
+	"fmt"
+
+	"inplace/internal/memsim"
+)
+
+// Warp models W SIMD lanes with K registers each. Register r of lane l is
+// regs[r][l]: the register file is a K×W array, on which row operations
+// are lane shuffles and column operations are lane-local register moves —
+// exactly the correspondence §6.2 exploits.
+type Warp struct {
+	W, K int
+	regs [][]uint64
+	mem  *memsim.Memory
+
+	// scratch
+	addrs []int64
+	tmp   []uint64
+}
+
+// NewWarp creates a warp of w lanes with k registers per lane, charging
+// costs to mem.
+func NewWarp(w, k int, mem *memsim.Memory) *Warp {
+	if w <= 0 || k <= 0 {
+		panic("simd: warp dimensions must be positive")
+	}
+	regs := make([][]uint64, k)
+	for r := range regs {
+		regs[r] = make([]uint64, w)
+	}
+	return &Warp{W: w, K: k, regs: regs, mem: mem, addrs: make([]int64, w), tmp: make([]uint64, w)}
+}
+
+// Mem returns the memory model the warp charges to.
+func (w *Warp) Mem() *memsim.Memory { return w.mem }
+
+// Reg returns register r as a slice indexed by lane (shared storage).
+func (w *Warp) Reg(r int) []uint64 { return w.regs[r] }
+
+// Set writes v into register r of lane l without charging instructions
+// (test setup).
+func (w *Warp) Set(r, l int, v uint64) { w.regs[r][l] = v }
+
+// Get reads register r of lane l without charging instructions.
+func (w *Warp) Get(r, l int) uint64 { return w.regs[r][l] }
+
+// Shfl performs the warp shuffle on register r: afterwards lane l holds
+// the value lane src(l) held before. One warp instruction plus idxCost
+// instructions for computing the source lane indices.
+func (w *Warp) Shfl(r int, src func(lane int) int, idxCost int) {
+	row := w.regs[r]
+	copy(w.tmp, row)
+	for l := 0; l < w.W; l++ {
+		s := src(l)
+		if s < 0 || s >= w.W {
+			panic(fmt.Sprintf("simd: shuffle source %d out of range", s))
+		}
+		row[l] = w.tmp[s]
+	}
+	w.mem.ALU(1 + idxCost)
+}
+
+// RotateLanes rotates each lane's register column up by a lane-dependent
+// amount: afterwards register r of lane l holds what register
+// (r + amount(l)) mod K held before. The rotation is performed as a
+// branch-free barrel rotator (§6.2.2): ceil(log2 K) static steps, each
+// conditionally moving all K registers with select instructions, so
+// divergent per-lane amounts cost no serialization. Charges
+// K·ceil(log2 K) selects plus one instruction for the amount computation.
+func (w *Warp) RotateLanes(amount func(lane int) int) {
+	if w.K == 1 {
+		return
+	}
+	steps := 0
+	for s := 1; s < w.K; s <<= 1 {
+		steps++
+	}
+	// Simulate the result exactly; the barrel decomposition is
+	// value-equivalent to a single rotation per lane.
+	col := make([]uint64, w.K)
+	for l := 0; l < w.W; l++ {
+		amt := amount(l) % w.K
+		if amt < 0 {
+			amt += w.K
+		}
+		for r := 0; r < w.K; r++ {
+			col[r] = w.regs[(r+amt)%w.K][l]
+		}
+		for r := 0; r < w.K; r++ {
+			w.regs[r][l] = col[r]
+		}
+	}
+	w.mem.ALU(w.K*steps + 1)
+}
+
+// RenameRows applies a static register renaming (§6.2.3): afterwards
+// register r holds what register perm(r) held before, identically in
+// every lane. Performed by the compiler in the original, so it charges
+// no instructions.
+func (w *Warp) RenameRows(perm func(r int) int) {
+	old := make([][]uint64, w.K)
+	copy(old, w.regs)
+	for r := 0; r < w.K; r++ {
+		p := perm(r)
+		if p < 0 || p >= w.K {
+			panic(fmt.Sprintf("simd: rename source %d out of range", p))
+		}
+		w.regs[r] = old[p]
+	}
+}
+
+// LoadRow issues one coalesced warp load into register r: lane l reads
+// the 64-bit word at word index addr(l) of data (negative = inactive).
+func (w *Warp) LoadRow(r int, data []uint64, addr func(lane int) int) {
+	row := w.regs[r]
+	for l := 0; l < w.W; l++ {
+		a := addr(l)
+		if a < 0 {
+			w.addrs[l] = -1
+			continue
+		}
+		w.addrs[l] = int64(a) * 8
+		row[l] = data[a]
+	}
+	w.mem.ALU(1) // address computation
+	w.mem.Load(w.addrs, 8)
+}
+
+// StoreRow issues one coalesced warp store from register r: lane l
+// writes its value to word index addr(l) of data (negative = inactive).
+func (w *Warp) StoreRow(r int, data []uint64, addr func(lane int) int) {
+	row := w.regs[r]
+	for l := 0; l < w.W; l++ {
+		a := addr(l)
+		if a < 0 {
+			w.addrs[l] = -1
+			continue
+		}
+		w.addrs[l] = int64(a) * 8
+		data[a] = row[l]
+	}
+	w.mem.ALU(1)
+	w.mem.Store(w.addrs, 8)
+}
+
+// LoadRowVector issues one warp load of 16-byte vectors: lane l reads
+// words addr(l) and addr(l)+1 into registers r and r+1.
+func (w *Warp) LoadRowVector(r int, data []uint64, addr func(lane int) int) {
+	lo, hi := w.regs[r], w.regs[r+1]
+	for l := 0; l < w.W; l++ {
+		a := addr(l)
+		if a < 0 {
+			w.addrs[l] = -1
+			continue
+		}
+		w.addrs[l] = int64(a) * 8
+		lo[l] = data[a]
+		hi[l] = data[a+1]
+	}
+	w.mem.ALU(1)
+	w.mem.Load(w.addrs, 16)
+}
+
+// StoreRowVector issues one warp store of 16-byte vectors from registers
+// r and r+1.
+func (w *Warp) StoreRowVector(r int, data []uint64, addr func(lane int) int) {
+	lo, hi := w.regs[r], w.regs[r+1]
+	for l := 0; l < w.W; l++ {
+		a := addr(l)
+		if a < 0 {
+			w.addrs[l] = -1
+			continue
+		}
+		w.addrs[l] = int64(a) * 8
+		data[a] = lo[l]
+		data[a+1] = hi[l]
+	}
+	w.mem.ALU(1)
+	w.mem.Store(w.addrs, 16)
+}
