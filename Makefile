@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench clean
+
+# ci is the full gate: static checks, build, tests, and the race
+# detector (short mode keeps the race shapes small).
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# fuzz runs each fuzz target for a short budget; raise FUZZTIME for a
+# longer campaign.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzTranspose -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzPlannerReuse -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzAOSRoundTrip -fuzztime $(FUZZTIME) .
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+clean:
+	$(GO) clean
+	rm -rf results

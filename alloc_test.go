@@ -1,0 +1,67 @@
+// Race-detector instrumentation inserts its own allocations, so the
+// exact-zero assertions only hold in uninstrumented builds.
+//go:build !race
+
+package inplace_test
+
+import (
+	"testing"
+
+	"inplace"
+)
+
+// These tests pin down the tentpole guarantee of the Planner API: once
+// the scratch arena is warm, Execute performs no heap allocation at all.
+// testing.AllocsPerRun runs the body once before measuring, which warms
+// the arena and the lazily-built cycle decomposition exactly like a
+// caller's first Execute would.
+
+func requireZeroAllocs(t *testing.T, rows, cols int, o inplace.Options) {
+	t.Helper()
+	pl, err := inplace.NewPlanner[int64](rows, cols, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int64, rows*cols)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := pl.Execute(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Planner.Execute(%dx%d, %+v) allocates %.1f times per run, want 0", rows, cols, o, allocs)
+	}
+}
+
+func TestExecuteZeroAllocCacheAware(t *testing.T) {
+	requireZeroAllocs(t, 512, 384, inplace.Options{Workers: 1, Method: inplace.CacheAware})
+}
+
+func TestExecuteZeroAllocCacheAwareR2C(t *testing.T) {
+	// rows > cols drives the heuristic to the R2C pipeline.
+	requireZeroAllocs(t, 384, 512, inplace.Options{Workers: 1, Method: inplace.CacheAware})
+}
+
+func TestExecuteZeroAllocSkinny(t *testing.T) {
+	// ForceC2R keeps the cr plan at (100000, 8): band 7, well within the
+	// banded sweeps' viability bound, so this exercises the real skinny
+	// path rather than the cache-aware fallback.
+	requireZeroAllocs(t, 100000, 8, inplace.Options{Workers: 1, Method: inplace.SkinnyMethod, Direction: inplace.ForceC2R})
+}
+
+func TestExecuteZeroAllocSkinnyR2C(t *testing.T) {
+	requireZeroAllocs(t, 8, 100000, inplace.Options{Workers: 1, Method: inplace.SkinnyMethod, Direction: inplace.ForceR2C})
+}
+
+func TestExecuteZeroAllocScatterGather(t *testing.T) {
+	requireZeroAllocs(t, 96, 56, inplace.Options{Workers: 1, Method: inplace.Algorithm1})
+	requireZeroAllocs(t, 96, 56, inplace.Options{Workers: 1, Method: inplace.GatherOnly})
+}
+
+func TestExecuteZeroAllocGcdShapes(t *testing.T) {
+	// gcd > 1 enables the pre-rotation pass and its rotation closures.
+	requireZeroAllocs(t, 120, 96, inplace.Options{Workers: 1, Method: inplace.CacheAware})
+}

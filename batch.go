@@ -15,6 +15,10 @@ import (
 // shared (§6.2.4: the dimensions are static, so index computation is
 // amortized).
 //
+// The per-matrix planner comes from the process-wide planner cache and
+// the batch loop runs on the persistent worker pool, so repeated batch
+// calls of one shape skip both planning and goroutine spawning.
+//
 // Matrices small enough that parallelizing their internal passes would
 // only add synchronization run sequentially within one worker.
 func TransposeBatch[T any](data []T, count, rows, cols int, opts ...Options) error {
@@ -25,7 +29,12 @@ func TransposeBatch[T any](data []T, count, rows, cols int, opts ...Options) err
 	if count <= 0 {
 		return fmt.Errorf("%w (got count=%d)", ErrShape, count)
 	}
-	p, err := NewPlan(rows, cols, o)
+	// Each matrix runs single-threaded; the batch dimension provides the
+	// parallelism. The Workers=1 planner's passes never dispatch, so
+	// running them on pool workers cannot nest pool dispatches.
+	inner := o
+	inner.Workers = 1
+	pl, err := plannerFor[T](rows, cols, inner)
 	if err != nil {
 		return err
 	}
@@ -33,18 +42,20 @@ func TransposeBatch[T any](data []T, count, rows, cols int, opts ...Options) err
 	if len(data) != count*stride {
 		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*stride)
 	}
-	parallel.For(count, o.Workers, func(w, lo, hi int) {
-		// Each matrix runs single-threaded; the batch dimension provides
-		// the parallelism.
-		inner := *p
-		inner.opts.Workers = 1
+	workers := parallel.Workers(o.Workers)
+	run := func(_, lo, hi int) {
 		for k := lo; k < hi; k++ {
-			// Do only fails on a length mismatch, which the batch-level
-			// check above has already excluded.
-			if err := Do(&inner, data[k*stride:(k+1)*stride]); err != nil {
+			// Execute only fails on a length mismatch, which the
+			// batch-level check above has already excluded.
+			if err := pl.Execute(data[k*stride : (k+1)*stride]); err != nil {
 				panic(err)
 			}
 		}
-	})
+	}
+	if workers > 1 {
+		parallel.Shared().For(count, o.Workers, run)
+	} else {
+		parallel.For(count, o.Workers, run)
+	}
 	return nil
 }

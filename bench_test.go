@@ -252,3 +252,117 @@ func BenchmarkAblationHeuristic(b *testing.B) {
 		})
 	}
 }
+
+// --- Plan reuse (the Planner API's amortization claim) ---
+//
+// The reuse benchmarks measure the same transpose twice: cold builds a
+// fresh Planner every iteration (planning arithmetic, scratch
+// allocation, and for skinny shapes the O(m) cycle decomposition all on
+// the critical path), reused executes one prebuilt Planner. The gap is
+// the amortized cost the plan cache removes from TransposeWith; the
+// reused benchmarks must also report 0 allocs/op.
+
+// planReuseM×planReuseN is the acceptance shape: a million 4-field
+// structures, the AoS↔SoA workload of §6 where planning (cycle
+// decomposition of q over 10^6 rows) is a large fraction of one
+// transpose.
+const planReuseM, planReuseN = 1_000_000, 4
+
+var planReuseOpts = inplace.Options{
+	Workers:   1,
+	Method:    inplace.SkinnyMethod,
+	Direction: inplace.ForceC2R,
+}
+
+func BenchmarkPlanReuseColdSkinny(b *testing.B) {
+	data := make([]uint64, planReuseM*planReuseN)
+	fillU64(data)
+	b.SetBytes(int64(2 * planReuseM * planReuseN * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := inplace.NewPlanner[uint64](planReuseM, planReuseN, planReuseOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.Execute(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanReuseWarmSkinny(b *testing.B) {
+	data := make([]uint64, planReuseM*planReuseN)
+	fillU64(data)
+	pl, err := inplace.NewPlanner[uint64](planReuseM, planReuseN, planReuseOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.Execute(data); err != nil { // warm arena and cycle cache
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * planReuseM * planReuseN * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pl.Execute(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanReuseColdCacheAware(b *testing.B) {
+	const m, n = 512, 384
+	data := make([]uint64, m*n)
+	fillU64(data)
+	b.SetBytes(int64(2 * m * n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := inplace.NewPlanner[uint64](m, n, inplace.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.Execute(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanReuseWarmCacheAware(b *testing.B) {
+	const m, n = 512, 384
+	data := make([]uint64, m*n)
+	fillU64(data)
+	pl, err := inplace.NewPlanner[uint64](m, n, inplace.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.Execute(data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * m * n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pl.Execute(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanReuseBatch measures the cached-planner batch path: many
+// tiny matrices, where per-call planning would dominate the actual data
+// movement.
+func BenchmarkPlanReuseBatch(b *testing.B) {
+	const count, m, n = 4096, 31, 7
+	data := make([]uint64, count*m*n)
+	fillU64(data)
+	b.SetBytes(int64(2 * count * m * n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inplace.TransposeBatch(data, count, m, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,7 +1,11 @@
 // Command benchsuite regenerates the paper's evaluation: every table and
 // figure of "A Decomposition for In-place Matrix Transposition"
 // (PPoPP 2014) has a corresponding experiment that prints the paper's
-// rows/series and writes a CSV for plotting.
+// rows/series and writes a CSV for plotting. Beyond the paper's
+// artifacts, the planreuse experiment measures this implementation's
+// Planner API: the warm/cold speedup distribution of reusing a
+// precomputed plan (schedule, scratch arena, row-permutation cycles)
+// across the randomized AoS workload.
 //
 // Usage:
 //

@@ -18,7 +18,34 @@
 //	if err := inplace.Transpose(data, rows, cols); err != nil { ... }
 //	// data now holds the row-major cols×rows transpose
 //
-// Repeated transposes of one shape should reuse a Plan:
+// # Reusable plans
+//
+// Repeated transposes of one shape should reuse a Planner, which
+// precomputes everything shape-dependent — the decomposition constants
+// (gcd cofactors, modular inverses, fixed-point reciprocals), the pass
+// schedule (direction heuristic, chunk partitions, rotation closures),
+// the cycle decomposition of the shared row permutation, and a recycled
+// scratch arena — so that steady-state Execute calls perform no heap
+// allocation at all and multi-worker plans run on a persistent worker
+// pool instead of spawning goroutines per pass:
+//
+//	pl, _ := inplace.NewPlanner[float64](rows, cols)
+//	for _, buf := range buffers {
+//	    pl.Execute(buf) // zero allocations after the first call
+//	}
+//
+// A Planner is safe for concurrent use on distinct buffers. Plan reuse
+// pays off when the per-call planning cost is a visible fraction of the
+// data movement: small matrices transposed in a loop, and skinny
+// AoS↔SoA shapes, where building the row-permutation cycles is O(rows)
+// time and memory — comparable to the transpose itself. For one-off
+// large transposes the planning cost is negligible and Transpose is
+// fine; it (and TransposeWith, TransposeBatch) transparently caches
+// planners per (shape, options, element type), so even ad-hoc repeated
+// calls hit the amortized path.
+//
+// The lower-level NewPlan/Do API remains for callers that only need the
+// untyped shape resolution:
 //
 //	p, _ := inplace.NewPlan(rows, cols, inplace.Options{})
 //	inplace.Do(p, data)

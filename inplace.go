@@ -218,13 +218,17 @@ func Transpose[T any](data []T, rows, cols int) error {
 	return TransposeWith(data, rows, cols, Options{})
 }
 
-// TransposeWith is Transpose with explicit options.
+// TransposeWith is Transpose with explicit options. Calls route through
+// a process-wide planner cache keyed by shape, options and element type,
+// so repeated transposes of one shape reuse the precomputed schedule and
+// scratch arena; callers wanting explicit control over that lifetime
+// should hold a Planner instead.
 func TransposeWith[T any](data []T, rows, cols int, o Options) error {
-	p, err := NewPlan(rows, cols, o)
+	pl, err := plannerFor[T](rows, cols, o)
 	if err != nil {
 		return err
 	}
-	return Do(p, data)
+	return pl.Execute(data)
 }
 
 // C2R applies the paper's C2R permutation to a row-major m×n array with

@@ -1,0 +1,95 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+type testFrame struct {
+	buf []int
+}
+
+func TestPoolRecyclesFrames(t *testing.T) {
+	built := 0
+	p := NewPool(func() *testFrame {
+		built++
+		return &testFrame{buf: make([]int, 16)}
+	})
+	f1 := p.Get()
+	if built != 1 {
+		t.Fatalf("built = %d after first Get, want 1", built)
+	}
+	f1.buf[0] = 42
+	p.Put(f1)
+	f2 := p.Get()
+	if f2 != f1 {
+		t.Error("Get after Put did not recycle the frame")
+	}
+	p.Put(f2)
+}
+
+func TestPoolConcurrentGetPut(t *testing.T) {
+	p := NewPool(func() *testFrame { return &testFrame{buf: make([]int, 64)} })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := p.Get()
+				for j := range f.buf {
+					f.buf[j] = g
+				}
+				for j := range f.buf {
+					if f.buf[j] != g {
+						t.Errorf("frame shared between goroutines")
+						return
+					}
+				}
+				p.Put(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPoolZeroAllocSteadyState(t *testing.T) {
+	p := NewPool(func() *testFrame { return &testFrame{buf: make([]int, 1024)} })
+	// Prime the pool.
+	p.Put(p.Get())
+	allocs := testing.AllocsPerRun(100, func() {
+		f := p.Get()
+		f.buf[0]++
+		p.Put(f)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSlab(t *testing.T) {
+	bufs := Slab[int](3, 5)
+	if len(bufs) != 3 {
+		t.Fatalf("len = %d, want 3", len(bufs))
+	}
+	for i, b := range bufs {
+		if len(b) != 5 {
+			t.Fatalf("buf %d len = %d, want 5", i, len(b))
+		}
+		for j := range b {
+			b[j] = i*100 + j
+		}
+	}
+	// Full-capacity slices: appending to one buffer must not clobber the
+	// next (the slab is split with three-index slicing).
+	bufs[0] = append(bufs[0], -1)
+	if bufs[1][0] != 100 {
+		t.Error("append to buf 0 clobbered buf 1")
+	}
+	if got := Slab[int](0, 5); got != nil {
+		t.Errorf("Slab(0, 5) = %v, want nil", got)
+	}
+	if got := Slab[int](2, 0); got != nil {
+		t.Errorf("Slab(2, 0) = %v, want nil", got)
+	}
+}

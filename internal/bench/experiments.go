@@ -34,25 +34,27 @@ type Result struct {
 // Experiments maps experiment ids to their runners; cmd/benchsuite
 // iterates this registry.
 var Experiments = map[string]func(Config) []Result{
-	"fig1":     Fig1,
-	"fig2":     Fig2,
-	"fig3":     Fig3,
-	"table1":   Table1,
-	"fig4":     Fig4,
-	"fig5":     Fig5,
-	"fig6":     Fig6,
-	"table2":   Table2,
-	"fig7":     Fig7,
-	"fig8":     Fig8,
-	"fig9":     Fig9,
-	"locality": Locality,
-	"gpusim":   GPUSim,
+	"fig1":      Fig1,
+	"fig2":      Fig2,
+	"fig3":      Fig3,
+	"table1":    Table1,
+	"fig4":      Fig4,
+	"fig5":      Fig5,
+	"fig6":      Fig6,
+	"table2":    Table2,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"locality":  Locality,
+	"gpusim":    GPUSim,
+	"planreuse": PlanReuse,
 }
 
 // ExperimentOrder lists experiment ids in paper order.
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig3", "table1", "fig4", "fig5",
 	"fig6", "table2", "fig7", "fig8", "fig9", "locality", "gpusim",
+	"planreuse",
 }
 
 // --- Figure 3 / Table 1: CPU in-place transposition throughput ---

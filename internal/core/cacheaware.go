@@ -12,129 +12,138 @@ import (
 // rotation cycles — and a fine phase that applies the small residual
 // rotations with a single forward sweep over bounded-lookahead bands.
 // The row permute moves whole sub-rows along precomputed cycles of q.
+//
+// Like passes.go, the work is written as range kernels drawing scratch
+// from a caller-provided frame, shared between the legacy one-shot
+// functions and the zero-allocation Engine path.
 
-// c2rCacheAware composes the C2R transpose from cache-aware passes: the
-// §5.2 GPU formulation. The column shuffle is factored into the rotation
-// p_j and row permutation q (Equations 32–33).
-func c2rCacheAware[T any](data []T, p *cr.Plan, o Opts) {
-	w := o.blockW()
-	if !p.Coprime {
-		rotateColumnsCacheAware(data, p.M, p.N, p.Rot, w, o.Workers)
+// rotateGroupsRange rotates column j up by amount(j) for every column of
+// the groups [glo, ghi), processing groups of up to blockW adjacent
+// columns together: a coarse whole-sub-row rotation by a group-common
+// amount followed by a fine forward sweep applying the bounded
+// residuals. Groups are independent, so any chunk of groups can run in
+// parallel with any other.
+func rotateGroupsRange[T any](data []T, m, n int, amount func(j int) int, blockW int, fr *frame[T], glo, ghi int) {
+	am, res := fr.idx(blockW)
+	spare := fr.spareBuf(blockW)
+	for g := glo; g < ghi; g++ {
+		j0 := g * blockW
+		j1 := j0 + blockW
+		if j1 > n {
+			j1 = n
+		}
+		w := j1 - j0
+		for j := j0; j < j1; j++ {
+			r := amount(j) % m
+			if r < 0 {
+				r += m
+			}
+			am[j-j0] = r
+		}
+		// Pick the coarse amount so that every residual
+		// (am - k) mod m stays below the band bound. The paper's
+		// rotation amount functions are monotone across a group, so
+		// either endpoint works; fall back to per-column rotation
+		// otherwise (only possible for degenerate tiny m).
+		band := 0
+		ok := false
+		var k int
+		for _, cand := range [2]int{am[0], am[w-1]} {
+			k = cand
+			band = 0
+			ok = true
+			for jj := 0; jj < w; jj++ {
+				r := am[jj] - k
+				if r < 0 {
+					r += m
+				}
+				res[jj] = r
+				if r > band {
+					band = r
+				}
+			}
+			if band < m && band <= 2*blockW {
+				break
+			}
+			ok = false
+		}
+		if !ok {
+			// Degenerate group: rotate each column independently.
+			for jj := 0; jj < w; jj++ {
+				perm.RotateStrided(data, j0+jj, n, m, am[jj])
+			}
+			continue
+		}
+		if k != 0 {
+			perm.RotateChunksStrided(data, j0, n, w, m, k, spare)
+		}
+		if band == 0 {
+			continue
+		}
+		// Fine phase: forward sweep, out[i][j] = in[(i+res)%m][j].
+		// Writing row i only consumes rows >= i, except wrapped reads
+		// near the bottom, which come from the saved head band.
+		if cap(fr.saved) < band*w {
+			fr.saved = make([]T, band*w)
+		}
+		saved := fr.saved[:band*w]
+		for r := 0; r < band; r++ {
+			copy(saved[r*w:r*w+w], data[r*n+j0:r*n+j1])
+		}
+		for i := 0; i < m; i++ {
+			row := data[i*n+j0 : i*n+j1]
+			for jj := 0; jj < w; jj++ {
+				sr := i + res[jj]
+				if sr < m {
+					row[jj] = data[sr*n+j0+jj]
+				} else {
+					row[jj] = saved[(sr-m)*w+jj]
+				}
+			}
+		}
 	}
-	rowShuffleScatterInc(data, p, o.Workers)
-	rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return j }, w, o.Workers)
-	rowPermuteCycles(data, p.M, p.N, p.Q, w, o.Workers)
 }
 
-// r2cCacheAware inverts the cache-aware C2R pass by pass (§4.3).
-func r2cCacheAware[T any](data []T, p *cr.Plan, o Opts) {
-	w := o.blockW()
-	rowPermuteCycles(data, p.M, p.N, p.QInv, w, o.Workers)
-	rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return -j }, w, o.Workers)
-	rowShuffleGatherDInc(data, p, o.Workers)
-	if !p.Coprime {
-		rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return -p.Rot(j) }, w, o.Workers)
-	}
-}
-
-// rotateColumnsCacheAware rotates column j up by amount(j) for every
-// column, processing groups of up to blockW adjacent columns together:
-// a coarse whole-sub-row rotation by a group-common amount followed by a
-// fine forward sweep applying the bounded residuals. Groups are
-// independent and processed in parallel.
+// rotateColumnsCacheAware is the one-shot parallel form of the
+// coarse/fine rotation, kept for the ablation harness and the pass-level
+// profiling entry points.
 func rotateColumnsCacheAware[T any](data []T, m, n int, amount func(j int) int, blockW, workers int) {
 	if m <= 1 || n == 0 {
 		return
 	}
 	groups := (n + blockW - 1) / blockW
 	parallel.For(groups, workers, func(_, glo, ghi int) {
-		am := make([]int, blockW)
-		res := make([]int, blockW)
-		spare := make([]T, blockW)
-		var saved []T
-		for g := glo; g < ghi; g++ {
-			j0 := g * blockW
-			j1 := j0 + blockW
-			if j1 > n {
-				j1 = n
-			}
-			w := j1 - j0
-			for j := j0; j < j1; j++ {
-				r := amount(j) % m
-				if r < 0 {
-					r += m
-				}
-				am[j-j0] = r
-			}
-			// Pick the coarse amount so that every residual
-			// (am - k) mod m stays below the band bound. The paper's
-			// rotation amount functions are monotone across a group, so
-			// either endpoint works; fall back to per-column rotation
-			// otherwise (only possible for degenerate tiny m).
-			band := 0
-			ok := false
-			var k int
-			for _, cand := range []int{am[0], am[w-1]} {
-				k = cand
-				band = 0
-				ok = true
-				for jj := 0; jj < w; jj++ {
-					r := am[jj] - k
-					if r < 0 {
-						r += m
-					}
-					res[jj] = r
-					if r > band {
-						band = r
-					}
-				}
-				if band < m && band <= 2*blockW {
-					break
-				}
-				ok = false
-			}
-			if !ok {
-				// Degenerate group: rotate each column independently.
-				for jj := 0; jj < w; jj++ {
-					perm.RotateStrided(data, j0+jj, n, m, am[jj])
-				}
-				continue
-			}
-			if k != 0 {
-				perm.RotateChunksStrided(data, j0, n, w, m, k, spare)
-			}
-			if band == 0 {
-				continue
-			}
-			// Fine phase: forward sweep, out[i][j] = in[(i+res)%m][j].
-			// Writing row i only consumes rows >= i, except wrapped reads
-			// near the bottom, which come from the saved head band.
-			if cap(saved) < band*w {
-				saved = make([]T, band*w)
-			}
-			saved = saved[:band*w]
-			for r := 0; r < band; r++ {
-				copy(saved[r*w:r*w+w], data[r*n+j0:r*n+j1])
-			}
-			for i := 0; i < m; i++ {
-				row := data[i*n+j0 : i*n+j1]
-				for jj := 0; jj < w; jj++ {
-					sr := i + res[jj]
-					if sr < m {
-						row[jj] = data[sr*n+j0+jj]
-					} else {
-						row[jj] = saved[(sr-m)*w+jj]
-					}
-				}
-			}
-		}
+		rotateGroupsRange(data, m, n, amount, blockW, new(frame[T]), glo, ghi)
 	})
+}
+
+// rowPermuteWideRange permutes whole rows, out[i] = in[p[i]], for the
+// column groups [glo, ghi): every group of up to blockW adjacent columns
+// walks all cycles over its own column range with whole-sub-row moves
+// (§4.7). spare must hold at least min(blockW, n) elements.
+func rowPermuteWideRange[T any](data []T, n, blockW int, p perm.P, leaders, lengths []int, spare []T, glo, ghi int) {
+	for g := glo; g < ghi; g++ {
+		j0 := g * blockW
+		j1 := j0 + blockW
+		if j1 > n {
+			j1 = n
+		}
+		perm.GatherChunksStrided(data, j0, n, j1-j0, p, leaders, lengths, spare)
+	}
+}
+
+// rowPermuteNarrowRange permutes whole rows for the cycles led by
+// leaders[lo:hi], each worker moving full n-element rows. spare must
+// hold at least n elements.
+func rowPermuteNarrowRange[T any](data []T, n int, p perm.P, leaders, lengths []int, spare []T, lo, hi int) {
+	perm.GatherChunksStrided(data, 0, n, n, p, leaders[lo:hi], lengths[lo:hi], spare)
 }
 
 // rowPermuteCycles permutes whole rows, out[i] = in[permf(i)], by
 // following the cycles of the permutation with whole-sub-row moves
 // (§4.7). Wide matrices parallelize across column groups; narrow ones
-// across cycles.
+// across cycles. One-shot form: recomputes the cycle decomposition per
+// call; the Engine path uses the schedule's cached descriptors instead.
 func rowPermuteCycles[T any](data []T, m, n int, permf func(i int) int, blockW, workers int) {
 	if m <= 1 || n == 0 {
 		return
@@ -150,23 +159,14 @@ func rowPermuteCycles[T any](data []T, m, n int, permf func(i int) int, blockW, 
 		// over its own column range.
 		groups := (n + blockW - 1) / blockW
 		parallel.For(groups, workers, func(_, glo, ghi int) {
-			spare := make([]T, blockW)
-			for g := glo; g < ghi; g++ {
-				j0 := g * blockW
-				j1 := j0 + blockW
-				if j1 > n {
-					j1 = n
-				}
-				perm.GatherChunksStrided(data, j0, n, j1-j0, p, leaders, lengths, spare)
-			}
+			rowPermuteWideRange(data, n, blockW, p, leaders, lengths, make([]T, blockW), glo, ghi)
 		})
 		return
 	}
 	// Narrow: distribute whole cycles across workers; each moves full
 	// rows.
 	parallel.For(len(leaders), workers, func(_, lo, hi int) {
-		spare := make([]T, n)
-		perm.GatherChunksStrided(data, 0, n, n, p, leaders[lo:hi], lengths[lo:hi], spare)
+		rowPermuteNarrowRange(data, n, p, leaders, lengths, make([]T, n), lo, hi)
 	})
 }
 
@@ -185,7 +185,7 @@ func PassRowShuffle[T any](data []T, p *cr.Plan, workers int) {
 
 // PassRotateP runs the column-shuffle rotation component in isolation.
 func PassRotateP[T any](data []T, p *cr.Plan, blockW, workers int) {
-	rotateColumnsCacheAware(data, p.M, p.N, func(j int) int { return j }, blockW, workers)
+	rotateColumnsCacheAware(data, p.M, p.N, identityAmount, blockW, workers)
 }
 
 // PassRowPermute runs the column-shuffle row-permutation component in

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"inplace/internal/cr"
+	"inplace/internal/parallel"
 )
 
 // Variant selects an execution strategy for the in-place transposition
@@ -54,6 +55,10 @@ type Opts struct {
 	// passes; 0 selects a width spanning a 64-byte cache line of 8-byte
 	// elements.
 	BlockW int
+	// Pool, when non-nil, dispatches parallel chunks onto a persistent
+	// worker pool instead of spawning goroutines per pass. Engines never
+	// nest dispatches, as the pool requires.
+	Pool *parallel.Pool
 }
 
 // DefaultBlockW is the default cache-aware sub-row width: eight elements
@@ -70,80 +75,17 @@ func (o Opts) blockW() int {
 // C2R performs the in-place C2R transposition of the flat row-major
 // m×n array described by plan: afterwards data holds the row-major n×m
 // transpose (Theorem 1). len(data) must equal plan.M*plan.N.
+//
+// One-shot form: builds a Schedule and Engine per call. Callers that
+// transpose repeatedly should hold an Engine (via the public Planner)
+// and amortize that work instead.
 func C2R[T any](data []T, plan *cr.Plan, o Opts) {
-	if len(data) != plan.M*plan.N {
-		panic(fmt.Sprintf("core: C2R buffer length %d does not match %v", len(data), plan))
-	}
-	switch o.Variant {
-	case Scatter:
-		c2rScatter(data, plan, o)
-	case Gather:
-		c2rGather(data, plan, o)
-	case CacheAware:
-		c2rCacheAware(data, plan, o)
-	case Skinny:
-		c2rSkinny(data, plan, o)
-	default:
-		panic("core: unknown variant " + o.Variant.String())
-	}
+	NewEngine[T](NewSchedule(plan, o)).C2R(data)
 }
 
 // R2C performs the in-place R2C transposition, the exact inverse of C2R:
 // if data holds a row-major n×m array, R2C with an m×n plan leaves data
 // holding the row-major m×n transpose.
 func R2C[T any](data []T, plan *cr.Plan, o Opts) {
-	if len(data) != plan.M*plan.N {
-		panic(fmt.Sprintf("core: R2C buffer length %d does not match %v", len(data), plan))
-	}
-	switch o.Variant {
-	case Scatter:
-		r2cScatter(data, plan, o)
-	case Gather:
-		r2cGather(data, plan, o)
-	case CacheAware:
-		r2cCacheAware(data, plan, o)
-	case Skinny:
-		r2cSkinny(data, plan, o)
-	default:
-		panic("core: unknown variant " + o.Variant.String())
-	}
-}
-
-// c2rScatter is Algorithm 1: pre-rotate (if gcd > 1), scatter row
-// shuffle, gather column shuffle.
-func c2rScatter[T any](data []T, p *cr.Plan, o Opts) {
-	if !p.Coprime {
-		rotateColumnsGather(data, p.M, p.N, p.Rot, o.Workers)
-	}
-	rowShuffleScatter(data, p, o.Workers)
-	columnShuffleGather(data, p, o.Workers)
-}
-
-// c2rGather is the gather-only formulation (§5.1): the row shuffle uses
-// the closed-form inverse d'^{-1} so every pass is a gather.
-func c2rGather[T any](data []T, p *cr.Plan, o Opts) {
-	if !p.Coprime {
-		rotateColumnsGather(data, p.M, p.N, p.Rot, o.Workers)
-	}
-	rowShuffleGather(data, p, o.Workers)
-	columnShuffleGather(data, p, o.Workers)
-}
-
-// r2cScatter inverts Algorithm 1 pass by pass: the column shuffle
-// s' = p∘q inverts as a q^{-1} row permute followed by a p^{-1} rotation,
-// the row shuffle inverts as a gather with d', and the pre-rotation
-// inverts as a gather with r^{-1} (§4.3).
-func r2cScatter[T any](data []T, p *cr.Plan, o Opts) {
-	rowPermuteGatherNaive(data, p.M, p.N, p.QInv, o.Workers)
-	rotateColumnsGather(data, p.M, p.N, func(j int) int { return -j }, o.Workers)
-	rowShuffleGatherD(data, p, o.Workers)
-	if !p.Coprime {
-		rotateColumnsGather(data, p.M, p.N, func(j int) int { return -p.Rot(j) }, o.Workers)
-	}
-}
-
-// r2cGather matches r2cScatter; the R2C direction is naturally
-// gather-only (§4.3), so the two variants coincide structurally.
-func r2cGather[T any](data []T, p *cr.Plan, o Opts) {
-	r2cScatter(data, p, o)
+	NewEngine[T](NewSchedule(plan, o)).R2C(data)
 }

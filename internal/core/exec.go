@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+
+	"inplace/internal/arena"
+	"inplace/internal/cr"
+)
+
+// Engine binds a Schedule to an element type: it owns the recycled
+// scratch states and the prebuilt band-sweep row functions, and executes
+// the C2R/R2C pipelines with zero steady-state allocations. One Engine
+// may execute concurrently on distinct buffers; each execution draws a
+// private state from the arena.
+type Engine[T any] struct {
+	s      *Schedule
+	states *arena.Pool[execState[T]]
+
+	// Skinny band-sweep row producers, built once per engine so
+	// executions do not re-capture the plan constants.
+	c2r1, c2r2, r2c2, r2c3 bandRowFunc[T]
+
+	// Kernel func values, materialized once: instantiating a generic
+	// function value inside a generic method builds a dictionary-bound
+	// funcval on the heap per use, which would break the zero-allocation
+	// steady state.
+	kRotate        func([]T, int, int, func(int) int, []T, int, int)
+	kPermuteNaive  func([]T, int, int, func(int) int, []T, int, int)
+	kColShuffle    func([]T, *cr.Plan, []T, int, int)
+	kRowScatter    func([]T, *cr.Plan, []T, int, int)
+	kRowGather     func([]T, *cr.Plan, []T, int, int)
+	kRowScatterInc func([]T, *cr.Plan, []T, int, int)
+	kRowGatherD    func([]T, *cr.Plan, []T, int, int)
+	kRowGatherDInc func([]T, *cr.Plan, []T, int, int)
+}
+
+// NewEngine builds the typed half of an execution plan.
+func NewEngine[T any](s *Schedule) *Engine[T] {
+	e := &Engine[T]{s: s}
+	e.states = arena.NewPool(func() *execState[T] { return newExecState[T](s) })
+	if s.Opts.Variant == Skinny && s.skinnyOK {
+		e.c2r1 = skinnyC2RPass1[T](s.Plan)
+		e.c2r2 = skinnyC2RPass2[T](s.Plan)
+		e.r2c2 = skinnyR2CPass2[T](s.Plan)
+		e.r2c3 = skinnyR2CPass3[T](s.Plan)
+	}
+	e.kRotate = rotateColumnsGatherRange[T]
+	e.kPermuteNaive = rowPermuteGatherNaiveRange[T]
+	e.kColShuffle = columnShuffleGatherRange[T]
+	e.kRowScatter = rowShuffleScatterRange[T]
+	e.kRowGather = rowShuffleGatherRange[T]
+	e.kRowScatterInc = rowShuffleScatterIncRange[T]
+	e.kRowGatherD = rowShuffleGatherDRange[T]
+	e.kRowGatherDInc = rowShuffleGatherDIncRange[T]
+	return e
+}
+
+// Schedule returns the shared untyped half of the plan.
+func (e *Engine[T]) Schedule() *Schedule { return e.s }
+
+// C2R performs the in-place C2R transposition of the flat row-major
+// m×n array described by the schedule's plan (see the package-level C2R).
+func (e *Engine[T]) C2R(data []T) {
+	if len(data) != e.s.Plan.M*e.s.Plan.N {
+		panic(fmt.Sprintf("core: C2R buffer length %d does not match %v", len(data), e.s.Plan))
+	}
+	st := e.states.Get()
+	defer e.states.Put(st)
+	switch e.s.Opts.Variant {
+	case Scatter:
+		e.c2rScatter(data, st)
+	case Gather:
+		e.c2rGather(data, st)
+	case CacheAware:
+		e.c2rCacheAware(data, st)
+	case Skinny:
+		e.c2rSkinny(data, st)
+	default:
+		panic("core: unknown variant " + e.s.Opts.Variant.String())
+	}
+}
+
+// R2C performs the in-place R2C transposition, the exact inverse of C2R.
+func (e *Engine[T]) R2C(data []T) {
+	if len(data) != e.s.Plan.M*e.s.Plan.N {
+		panic(fmt.Sprintf("core: R2C buffer length %d does not match %v", len(data), e.s.Plan))
+	}
+	st := e.states.Get()
+	defer e.states.Put(st)
+	switch e.s.Opts.Variant {
+	case Scatter:
+		e.r2cScatter(data, st)
+	case Gather:
+		e.r2cGather(data, st)
+	case CacheAware:
+		e.r2cCacheAware(data, st)
+	case Skinny:
+		e.r2cSkinny(data, st)
+	default:
+		panic("core: unknown variant " + e.s.Opts.Variant.String())
+	}
+}
+
+// --- Pipelines (the pass compositions previously hard-wired into the
+// one-shot entry points) ---
+
+// c2rScatter is Algorithm 1: pre-rotate (if gcd > 1), scatter row
+// shuffle, gather column shuffle.
+func (e *Engine[T]) c2rScatter(data []T, st *execState[T]) {
+	if !e.s.Plan.Coprime {
+		e.colFnPass(data, st, e.kRotate, e.s.rotFn)
+	}
+	e.rowPass(data, st, e.kRowScatter)
+	e.colPass(data, st, e.kColShuffle)
+}
+
+// c2rGather is the gather-only formulation (§5.1): the row shuffle uses
+// the closed-form inverse d'^{-1} so every pass is a gather.
+func (e *Engine[T]) c2rGather(data []T, st *execState[T]) {
+	if !e.s.Plan.Coprime {
+		e.colFnPass(data, st, e.kRotate, e.s.rotFn)
+	}
+	e.rowPass(data, st, e.kRowGather)
+	e.colPass(data, st, e.kColShuffle)
+}
+
+// r2cScatter inverts Algorithm 1 pass by pass: the column shuffle
+// s' = p∘q inverts as a q^{-1} row permute followed by a p^{-1} rotation,
+// the row shuffle inverts as a gather with d', and the pre-rotation
+// inverts as a gather with r^{-1} (§4.3).
+func (e *Engine[T]) r2cScatter(data []T, st *execState[T]) {
+	e.colFnPass(data, st, e.kPermuteNaive, e.s.qInvFn)
+	e.colFnPass(data, st, e.kRotate, e.s.negIDFn)
+	e.rowPass(data, st, e.kRowGatherD)
+	if !e.s.Plan.Coprime {
+		e.colFnPass(data, st, e.kRotate, e.s.negRotFn)
+	}
+}
+
+// r2cGather matches r2cScatter; the R2C direction is naturally
+// gather-only (§4.3), so the two variants coincide structurally.
+func (e *Engine[T]) r2cGather(data []T, st *execState[T]) {
+	e.r2cScatter(data, st)
+}
+
+// c2rCacheAware composes the C2R transpose from cache-aware passes: the
+// §5.2 GPU formulation. The column shuffle is factored into the rotation
+// p_j and row permutation q (Equations 32–33).
+func (e *Engine[T]) c2rCacheAware(data []T, st *execState[T]) {
+	if !e.s.Plan.Coprime {
+		e.rotateGroups(data, st, e.s.rotFn)
+	}
+	e.rowPass(data, st, e.kRowScatterInc)
+	e.rotateGroups(data, st, e.s.idFn)
+	e.rowPermute(data, st, e.s.qCycles(), e.s.blockW, e.s.boundsGroups)
+}
+
+// r2cCacheAware inverts the cache-aware C2R pass by pass (§4.3).
+func (e *Engine[T]) r2cCacheAware(data []T, st *execState[T]) {
+	e.rowPermute(data, st, e.s.qInvCycles(), e.s.blockW, e.s.boundsGroups)
+	e.rotateGroups(data, st, e.s.negIDFn)
+	e.rowPass(data, st, e.kRowGatherDInc)
+	if !e.s.Plan.Coprime {
+		e.rotateGroups(data, st, e.s.negRotFn)
+	}
+}
+
+// c2rSkinny performs the C2R transpose with the skinny pass structure
+// (§6.1): fused pre-rotation + row shuffle, the p_j rotation, then the
+// whole-row permutation q — the first two as forward band sweeps.
+func (e *Engine[T]) c2rSkinny(data []T, st *execState[T]) {
+	if !e.s.skinnyOK {
+		e.c2rCacheAware(data, st)
+		return
+	}
+	e.bandSweep(data, st, true, e.s.bandPre, e.s.boundsBandPre, st.savedPre, e.c2r1)
+	e.bandSweep(data, st, true, e.s.bandRot, e.s.boundsBandRot, st.savedRot, e.c2r2)
+	e.rowPermute(data, st, e.s.qCycles(), e.s.Plan.N, e.s.oneGroup)
+}
+
+// r2cSkinny inverts c2rSkinny pass by pass with backward band sweeps.
+func (e *Engine[T]) r2cSkinny(data []T, st *execState[T]) {
+	if !e.s.skinnyOK {
+		e.r2cCacheAware(data, st)
+		return
+	}
+	e.rowPermute(data, st, e.s.qInvCycles(), e.s.Plan.N, e.s.oneGroup)
+	e.bandSweep(data, st, false, e.s.bandRot, e.s.boundsBandRot, st.savedRot, e.r2c2)
+	e.bandSweep(data, st, false, e.s.bandPre, e.s.boundsBandPre, st.savedPre, e.r2c3)
+}
+
+// --- Pass drivers ---
+//
+// Each driver runs a range kernel over a precomputed chunk partition.
+// The single-chunk case calls the kernel directly: no closure is built,
+// which together with the arena-backed frames makes sequential
+// executions allocation-free in steady state. Multi-chunk dispatch goes
+// through the schedule (persistent pool or spawned goroutines); the
+// chunk index doubles as the scratch frame index.
+
+// rowPass runs a row-shuffle kernel over all M rows with n-element
+// scratch.
+func (e *Engine[T]) rowPass(data []T, st *execState[T], kern func([]T, *cr.Plan, []T, int, int)) {
+	s := e.s
+	bounds := s.boundsM
+	if len(bounds) == 2 {
+		kern(data, s.Plan, st.frames[0].elems(s.Plan.N), bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(w, lo, hi int) {
+		kern(data, s.Plan, st.frames[w].elems(s.Plan.N), lo, hi)
+	})
+}
+
+// colPass runs a column kernel over all N columns with m-element
+// scratch.
+func (e *Engine[T]) colPass(data []T, st *execState[T], kern func([]T, *cr.Plan, []T, int, int)) {
+	s := e.s
+	bounds := s.boundsN
+	if len(bounds) == 2 {
+		kern(data, s.Plan, st.frames[0].elems(s.Plan.M), bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(w, lo, hi int) {
+		kern(data, s.Plan, st.frames[w].elems(s.Plan.M), lo, hi)
+	})
+}
+
+// colFnPass runs a column kernel parameterized by an index function
+// (rotation amount or row permutation) over all N columns.
+func (e *Engine[T]) colFnPass(data []T, st *execState[T], kern func([]T, int, int, func(int) int, []T, int, int), f func(int) int) {
+	s := e.s
+	m, n := s.Plan.M, s.Plan.N
+	bounds := s.boundsN
+	if len(bounds) == 2 {
+		kern(data, m, n, f, st.frames[0].elems(m), bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(w, lo, hi int) {
+		kern(data, m, n, f, st.frames[w].elems(m), lo, hi)
+	})
+}
+
+// rotateGroups runs the cache-aware coarse/fine column rotation over all
+// column groups.
+func (e *Engine[T]) rotateGroups(data []T, st *execState[T], amount func(int) int) {
+	s := e.s
+	m, n := s.Plan.M, s.Plan.N
+	if m <= 1 || n == 0 {
+		return
+	}
+	bounds := s.boundsGroups
+	if len(bounds) == 2 {
+		rotateGroupsRange(data, m, n, amount, s.blockW, &st.frames[0], bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(w, glo, ghi int) {
+		rotateGroupsRange(data, m, n, amount, s.blockW, &st.frames[w], glo, ghi)
+	})
+}
+
+// rowPermute applies one of the schedule's cached row permutations by
+// whole-sub-row cycle following (§4.7): wide matrices parallelize across
+// the groupBounds column groups, narrow ones across cycles.
+func (e *Engine[T]) rowPermute(data []T, st *execState[T], cy *cycles, blockW int, groupBounds []int) {
+	s := e.s
+	m, n := s.Plan.M, s.Plan.N
+	if m <= 1 || n == 0 || len(cy.leaders) == 0 {
+		return
+	}
+	if n >= s.workers*blockW || len(cy.leaders) == 1 {
+		w := min(blockW, n)
+		if len(groupBounds) == 2 {
+			rowPermuteWideRange(data, n, blockW, cy.p, cy.leaders, cy.lengths, st.frames[0].spareBuf(w), groupBounds[0], groupBounds[1])
+			return
+		}
+		s.dispatch(groupBounds, func(wk, glo, ghi int) {
+			rowPermuteWideRange(data, n, blockW, cy.p, cy.leaders, cy.lengths, st.frames[wk].spareBuf(w), glo, ghi)
+		})
+		return
+	}
+	bounds := cy.bounds
+	if len(bounds) == 2 {
+		rowPermuteNarrowRange(data, n, cy.p, cy.leaders, cy.lengths, st.frames[0].elems(n), bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(wk, lo, hi int) {
+		rowPermuteNarrowRange(data, n, cy.p, cy.leaders, cy.lengths, st.frames[wk].elems(n), lo, hi)
+	})
+}
+
+// bandSweep runs one skinny band sweep over all M rows, snapshotting the
+// inter-chunk bands into the state's recycled slabs first.
+func (e *Engine[T]) bandSweep(data []T, st *execState[T], forward bool, band int, bounds []int, saved [][]T, row bandRowFunc[T]) {
+	s := e.s
+	m, n := s.Plan.M, s.Plan.N
+	nchunks := len(bounds) - 1
+	snapshotBands(data, n, band, forward, bounds, saved)
+	if nchunks == 1 {
+		fr := &st.frames[0]
+		fr.br = bandReader[T]{data: data, n: n, m: m, lo: bounds[0], hi: bounds[1], band: band, forward: forward}
+		fr.br.outside, fr.br.wrap = bandNeighbors(saved, band, nchunks, 0, forward)
+		bandChunkRange(&fr.br, data, n, forward, row, fr.elems(n), bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(w, lo, hi int) {
+		fr := &st.frames[w]
+		fr.br = bandReader[T]{data: data, n: n, m: m, lo: lo, hi: hi, band: band, forward: forward}
+		fr.br.outside, fr.br.wrap = bandNeighbors(saved, band, nchunks, w, forward)
+		bandChunkRange(&fr.br, data, n, forward, row, fr.elems(n), lo, hi)
+	})
+}
+
+// --- Execution state ---
+
+// execState is the private scratch of one execution: a frame per worker
+// slot plus the band-snapshot slabs of the skinny sweeps. States are
+// recycled through the engine's arena, so their buffers grow to their
+// steady-state sizes on first use and are reused thereafter.
+type execState[T any] struct {
+	frames   []frame[T]
+	savedPre [][]T // skinny pass snapshots, band c-1, one per chunk
+	savedRot [][]T // skinny pass snapshots, band n-1, one per chunk
+}
+
+func newExecState[T any](s *Schedule) *execState[T] {
+	st := &execState[T]{frames: make([]frame[T], s.workers)}
+	if s.Opts.Variant == Skinny && s.skinnyOK {
+		st.savedPre = arena.Slab[T](s.nchunksPre, s.bandPre*s.Plan.N)
+		st.savedRot = arena.Slab[T](s.nchunksRot, s.bandRot*s.Plan.N)
+	}
+	return st
+}
+
+// frame is the per-worker scratch of one execution: the O(max(m,n))
+// permute-through buffer, the sub-row spare, the fine-phase head band
+// and the rotation index arrays, plus an inline band reader. Buffers
+// grow on demand and keep their capacity across recycled executions.
+type frame[T any] struct {
+	tmp   []T
+	spare []T
+	saved []T
+	am    []int
+	res   []int
+	br    bandReader[T]
+}
+
+// elems returns the frame's n-element permute-through buffer, growing it
+// if this execution needs more than any before.
+func (fr *frame[T]) elems(n int) []T {
+	if cap(fr.tmp) < n {
+		fr.tmp = make([]T, n)
+	}
+	return fr.tmp[:n]
+}
+
+// spareBuf returns the frame's sub-row spare of at least n elements.
+func (fr *frame[T]) spareBuf(n int) []T {
+	if cap(fr.spare) < n {
+		fr.spare = make([]T, n)
+	}
+	return fr.spare[:n]
+}
+
+// idx returns the frame's rotation amount/residual arrays of at least n
+// ints.
+func (fr *frame[T]) idx(n int) (am, res []int) {
+	if cap(fr.am) < n {
+		fr.am = make([]int, n)
+	}
+	if cap(fr.res) < n {
+		fr.res = make([]int, n)
+	}
+	return fr.am[:n], fr.res[:n]
+}

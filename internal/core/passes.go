@@ -10,229 +10,215 @@ import (
 // flat row-major m×n buffer along rows or columns only; engines compose
 // passes into full C2R/R2C transpositions.
 //
-// Column passes parallelize over columns and row passes over rows; each
-// worker permutes through its own O(max(m,n)) scratch buffer, preserving
-// the paper's auxiliary-storage bound per execution lane.
+// Every pass is written as a range kernel over [lo, hi) taking its
+// O(max(m,n)) scratch from the caller, so the same code serves both the
+// legacy one-shot entry points (which allocate scratch per call) and the
+// reusable Engine (which draws scratch from a recycled arena and reaches
+// a zero-allocation steady state).
 
-// scratch hands each worker a zeroed-on-demand buffer of size max(m, n).
-type scratch[T any] struct {
-	bufs [][]T
-}
-
-func newScratch[T any](workers, size int) *scratch[T] {
-	s := &scratch[T]{bufs: make([][]T, workers)}
-	for i := range s.bufs {
-		s.bufs[i] = make([]T, size)
+// rotateColumnsGatherRange applies a per-column rotation as a gather for
+// columns [lo, hi): column j becomes col'[i] = col[(i + amount(j)) mod m].
+// This is the naive formulation; see cacheaware.go for the coarse/fine
+// version. tmp must hold at least m elements.
+func rotateColumnsGatherRange[T any](data []T, m, n int, amount func(j int) int, tmp []T, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		r := amount(j) % m
+		if r < 0 {
+			r += m
+		}
+		if r == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			src := i + r
+			if src >= m {
+				src -= m
+			}
+			tmp[i] = data[src*n+j]
+		}
+		for i := 0; i < m; i++ {
+			data[i*n+j] = tmp[i]
+		}
 	}
-	return s
 }
 
-// rotateColumnsGather applies a per-column rotation as a gather:
-// column j becomes col'[i] = col[(i + amount(j)) mod m]. This is the
-// naive formulation; see cacheaware.go for the coarse/fine version.
+// rotateColumnsGather is the one-shot parallel form of the naive column
+// rotation, kept for the ablation harness and pass-level tests.
 func rotateColumnsGather[T any](data []T, m, n int, amount func(j int) int, workers int) {
-	sc := newScratch[T](parallel.Workers(workers), m)
-	parallel.For(n, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for j := lo; j < hi; j++ {
-			r := amount(j) % m
-			if r < 0 {
-				r += m
+	parallel.For(n, workers, func(_, lo, hi int) {
+		rotateColumnsGatherRange(data, m, n, amount, make([]T, m), lo, hi)
+	})
+}
+
+// rowShuffleScatterRange is the row shuffle of Algorithm 1 for rows
+// [lo, hi): each row i is scattered through tmp with indices d'_i(j)
+// (Equation 24). tmp must hold at least n elements.
+func rowShuffleScatterRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
+	n := p.N
+	for i := lo; i < hi; i++ {
+		row := data[i*n : i*n+n]
+		for j, v := range row {
+			tmp[p.DPrime(i, j)] = v
+		}
+		copy(row, tmp[:n])
+	}
+}
+
+// rowShuffleGatherRange is the gather formulation of the row shuffle
+// using the closed-form inverse d'^{-1}_i (Equation 31), preferred on
+// hardware where gathers outperform scatters (§4.2).
+func rowShuffleGatherRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
+	n := p.N
+	for i := lo; i < hi; i++ {
+		row := data[i*n : i*n+n]
+		for j := range tmp[:n] {
+			tmp[j] = row[p.DPrimeInv(i, j)]
+		}
+		copy(row, tmp[:n])
+	}
+}
+
+// rowShuffleScatterIncRange is rowShuffleScatterRange with fully
+// incremental index arithmetic: walking j in order, the scatter
+// destination d'_i(j) = ((i + ⌊j/b⌋) mod m + j*m) mod n advances by
+// constant steps (j*m mod n grows by m mod n; the rotation term bumps
+// every b columns), so the inner loop performs no division at all — the
+// strongest form of the §4.4 strength reduction, available to passes
+// that visit indices in order.
+func rowShuffleScatterIncRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
+	m, n := p.M, p.N
+	mModN := m % n
+	b := p.B
+	for i := lo; i < hi; i++ {
+		row := data[i*n : i*n+n]
+		jb := 0     // j mod b
+		jm := 0     // (j*m) mod n
+		srMod := i  // (i + ⌊j/b⌋) mod m
+		dm := i % n // srMod mod n
+		for j := 0; j < n; j++ {
+			d := dm + jm
+			if d >= n {
+				d -= n
 			}
-			if r == 0 {
-				continue
+			tmp[d] = row[j]
+			jm += mModN
+			if jm >= n {
+				jm -= n
 			}
-			for i := 0; i < m; i++ {
-				src := i + r
-				if src >= m {
-					src -= m
+			jb++
+			if jb == b {
+				jb = 0
+				srMod++
+				dm++
+				if srMod == m {
+					srMod = 0
+					dm = 0
+				} else if dm == n {
+					dm = 0
 				}
-				tmp[i] = data[src*n+j]
-			}
-			for i := 0; i < m; i++ {
-				data[i*n+j] = tmp[i]
 			}
 		}
-	})
+		copy(row, tmp[:n])
+	}
 }
 
-// rowShuffleScatter is the row shuffle of Algorithm 1: each row i is
-// scattered through a temporary vector with indices d'_i(j) (Equation 24).
-func rowShuffleScatter[T any](data []T, p *cr.Plan, workers int) {
-	m, n := p.M, p.N
-	sc := newScratch[T](parallel.Workers(workers), n)
-	parallel.For(m, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for i := lo; i < hi; i++ {
-			row := data[i*n : i*n+n]
-			for j, v := range row {
-				tmp[p.DPrime(i, j)] = v
-			}
-			copy(row, tmp[:n])
-		}
-	})
-}
-
-// rowShuffleGather is the gather formulation of the row shuffle using the
-// closed-form inverse d'^{-1}_i (Equation 31), preferred on hardware where
-// gathers outperform scatters (§4.2).
-func rowShuffleGather[T any](data []T, p *cr.Plan, workers int) {
-	m, n := p.M, p.N
-	sc := newScratch[T](parallel.Workers(workers), n)
-	parallel.For(m, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for i := lo; i < hi; i++ {
-			row := data[i*n : i*n+n]
-			for j := range tmp[:n] {
-				tmp[j] = row[p.DPrimeInv(i, j)]
-			}
-			copy(row, tmp[:n])
-		}
-	})
-}
-
-// rowShuffleScatterInc is rowShuffleScatter with fully incremental index
-// arithmetic: walking j in order, the scatter destination
-// d'_i(j) = ((i + ⌊j/b⌋) mod m + j*m) mod n advances by constant steps
-// (j*m mod n grows by m mod n; the rotation term bumps every b columns),
-// so the inner loop performs no division at all — the strongest form of
-// the §4.4 strength reduction, available to passes that visit indices in
-// order.
+// rowShuffleScatterInc is the one-shot parallel form, kept for the
+// pass-level profiling entry points.
 func rowShuffleScatterInc[T any](data []T, p *cr.Plan, workers int) {
+	parallel.For(p.M, workers, func(_, lo, hi int) {
+		rowShuffleScatterIncRange(data, p, make([]T, p.N), lo, hi)
+	})
+}
+
+// rowShuffleGatherDRange gathers each row with d'_i directly; because
+// gathering with a permutation's forward map applies its inverse, this is
+// the row shuffle of the R2C transpose (§4.3).
+func rowShuffleGatherDRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
+	n := p.N
+	for i := lo; i < hi; i++ {
+		row := data[i*n : i*n+n]
+		for j := range tmp[:n] {
+			tmp[j] = row[p.DPrime(i, j)]
+		}
+		copy(row, tmp[:n])
+	}
+}
+
+// rowShuffleGatherDIncRange is rowShuffleGatherDRange with the same
+// incremental index arithmetic as rowShuffleScatterIncRange: the R2C row
+// shuffle gathers through d'_i, whose values advance by constant steps
+// in j.
+func rowShuffleGatherDIncRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	m, n := p.M, p.N
 	mModN := m % n
 	b := p.B
-	sc := newScratch[T](parallel.Workers(workers), n)
-	parallel.For(m, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for i := lo; i < hi; i++ {
-			row := data[i*n : i*n+n]
-			jb := 0     // j mod b
-			jm := 0     // (j*m) mod n
-			srMod := i  // (i + ⌊j/b⌋) mod m
-			dm := i % n // srMod mod n
-			for j := 0; j < n; j++ {
-				d := dm + jm
-				if d >= n {
-					d -= n
-				}
-				tmp[d] = row[j]
-				jm += mModN
-				if jm >= n {
-					jm -= n
-				}
-				jb++
-				if jb == b {
-					jb = 0
-					srMod++
-					dm++
-					if srMod == m {
-						srMod = 0
-						dm = 0
-					} else if dm == n {
-						dm = 0
-					}
+	for i := lo; i < hi; i++ {
+		row := data[i*n : i*n+n]
+		jb := 0
+		jm := 0
+		srMod := i
+		dm := i % n
+		for j := 0; j < n; j++ {
+			d := dm + jm
+			if d >= n {
+				d -= n
+			}
+			tmp[j] = row[d]
+			jm += mModN
+			if jm >= n {
+				jm -= n
+			}
+			jb++
+			if jb == b {
+				jb = 0
+				srMod++
+				dm++
+				if srMod == m {
+					srMod = 0
+					dm = 0
+				} else if dm == n {
+					dm = 0
 				}
 			}
-			copy(row, tmp[:n])
 		}
-	})
+		copy(row, tmp[:n])
+	}
 }
 
-// rowShuffleGatherD gathers each row with d'_i directly; because gathering
-// with a permutation's forward map applies its inverse, this is the row
-// shuffle of the R2C transpose (§4.3).
-func rowShuffleGatherD[T any](data []T, p *cr.Plan, workers int) {
+// columnShuffleGatherRange applies the C2R column shuffle as a direct
+// gather with s'_j (Equation 26), the single-pass formulation of
+// Algorithm 1, for columns [lo, hi). tmp must hold at least m elements.
+func columnShuffleGatherRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	m, n := p.M, p.N
-	sc := newScratch[T](parallel.Workers(workers), n)
-	parallel.For(m, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for i := lo; i < hi; i++ {
-			row := data[i*n : i*n+n]
-			for j := range tmp[:n] {
-				tmp[j] = row[p.DPrime(i, j)]
-			}
-			copy(row, tmp[:n])
+	for j := lo; j < hi; j++ {
+		for i := 0; i < m; i++ {
+			tmp[i] = data[p.SPrime(i, j)*n+j]
 		}
-	})
+		for i := 0; i < m; i++ {
+			data[i*n+j] = tmp[i]
+		}
+	}
 }
 
-// rowShuffleGatherDInc is rowShuffleGatherD with the same incremental
-// index arithmetic as rowShuffleScatterInc: the R2C row shuffle gathers
-// through d'_i, whose values advance by constant steps in j.
-func rowShuffleGatherDInc[T any](data []T, p *cr.Plan, workers int) {
-	m, n := p.M, p.N
-	mModN := m % n
-	b := p.B
-	sc := newScratch[T](parallel.Workers(workers), n)
-	parallel.For(m, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for i := lo; i < hi; i++ {
-			row := data[i*n : i*n+n]
-			jb := 0
-			jm := 0
-			srMod := i
-			dm := i % n
-			for j := 0; j < n; j++ {
-				d := dm + jm
-				if d >= n {
-					d -= n
-				}
-				tmp[j] = row[d]
-				jm += mModN
-				if jm >= n {
-					jm -= n
-				}
-				jb++
-				if jb == b {
-					jb = 0
-					srMod++
-					dm++
-					if srMod == m {
-						srMod = 0
-						dm = 0
-					} else if dm == n {
-						dm = 0
-					}
-				}
-			}
-			copy(row, tmp[:n])
+// rowPermuteGatherNaiveRange permutes whole rows, out[i] = in[permf(i)],
+// by gathering column-by-column over columns [lo, hi). The cache-aware
+// engine replaces this with whole-sub-row cycle following (§4.7). tmp
+// must hold at least m elements.
+func rowPermuteGatherNaiveRange[T any](data []T, m, n int, permf func(i int) int, tmp []T, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		for i := 0; i < m; i++ {
+			tmp[i] = data[permf(i)*n+j]
 		}
-	})
+		for i := 0; i < m; i++ {
+			data[i*n+j] = tmp[i]
+		}
+	}
 }
 
-// columnShuffleGather applies the C2R column shuffle as a direct gather
-// with s'_j (Equation 26), the single-pass formulation of Algorithm 1.
-func columnShuffleGather[T any](data []T, p *cr.Plan, workers int) {
-	m, n := p.M, p.N
-	sc := newScratch[T](parallel.Workers(workers), m)
-	parallel.For(n, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for j := lo; j < hi; j++ {
-			for i := 0; i < m; i++ {
-				tmp[i] = data[p.SPrime(i, j)*n+j]
-			}
-			for i := 0; i < m; i++ {
-				data[i*n+j] = tmp[i]
-			}
-		}
-	})
-}
-
-// rowPermuteGatherNaive permutes whole rows, out[i] = in[perm(i)], by
-// gathering column-by-column. The cache-aware engine replaces this with
-// whole-sub-row cycle following (§4.7).
-func rowPermuteGatherNaive[T any](data []T, m, n int, perm func(i int) int, workers int) {
-	sc := newScratch[T](parallel.Workers(workers), m)
-	parallel.For(n, workers, func(w, lo, hi int) {
-		tmp := sc.bufs[w]
-		for j := lo; j < hi; j++ {
-			for i := 0; i < m; i++ {
-				tmp[i] = data[perm(i)*n+j]
-			}
-			for i := 0; i < m; i++ {
-				data[i*n+j] = tmp[i]
-			}
-		}
+// rowPermuteGatherNaive is the one-shot parallel form, kept for the
+// ablation harness.
+func rowPermuteGatherNaive[T any](data []T, m, n int, permf func(i int) int, workers int) {
+	parallel.For(n, workers, func(_, lo, hi int) {
+		rowPermuteGatherNaiveRange(data, m, n, permf, make([]T, m), lo, hi)
 	})
 }

@@ -37,24 +37,20 @@ func skinnyViable(p *cr.Plan) bool {
 	return band <= skinnyMaxBand && band*4 < p.M
 }
 
-// c2rSkinny performs the C2R transpose with the skinny pass structure:
-//
-//  1. fused pre-rotation + row shuffle: a forward band sweep scattering
-//     tmp[d'_i(j)] = in[(i + ⌊j/b⌋) mod m][j] with look-ahead c-1;
-//  2. the p_j rotation as a forward band sweep with look-ahead n-1;
-//  3. the row permutation q by whole-row cycle following.
-func c2rSkinny[T any](data []T, p *cr.Plan, o Opts) {
-	if !skinnyViable(p) {
-		c2rCacheAware(data, p, o)
-		return
-	}
-	m, n := p.M, p.N
-	mModN := m % n
+// bandRowFunc produces destination row i of a band sweep into tmp,
+// reading sources through the band reader.
+type bandRowFunc[T any] func(br *bandReader[T], i int, tmp []T)
 
-	// Pass 1. For each destination row i the scatter destination
-	// d'_i(j) = (srcRowMod + j*m) mod n and the source row i + ⌊j/b⌋
-	// both advance incrementally in j.
-	bandForward(data, m, n, p.C-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+// skinnyC2RPass1 is the fused pre-rotation + row shuffle of the C2R
+// transpose: a forward band sweep scattering
+// tmp[d'_i(j)] = in[(i + ⌊j/b⌋) mod m][j] with look-ahead c-1. For each
+// destination row i the scatter destination
+// d'_i(j) = (srcRowMod + j*m) mod n and the source row i + ⌊j/b⌋ both
+// advance incrementally in j.
+func skinnyC2RPass1[T any](p *cr.Plan) bandRowFunc[T] {
+	m, n, b := p.M, p.N, p.B
+	mModN := m % n
+	return func(br *bandReader[T], i int, tmp []T) {
 		jb := 0     // j mod b
 		jm := 0     // (j*m) mod n
 		sr := i     // unreduced source row i + ⌊j/b⌋
@@ -72,7 +68,7 @@ func c2rSkinny[T any](data []T, p *cr.Plan, o Opts) {
 				jm -= n
 			}
 			jb++
-			if jb == p.B {
+			if jb == b {
 				jb = 0
 				sr++
 				srMod++
@@ -85,47 +81,41 @@ func c2rSkinny[T any](data []T, p *cr.Plan, o Opts) {
 				}
 			}
 		}
-	})
+	}
+}
 
-	// Pass 2: out[i][j] = in[(i+j) mod m][j].
-	bandForward(data, m, n, n-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+// skinnyC2RPass2 is the p_j rotation as a forward band sweep with
+// look-ahead n-1: out[i][j] = in[(i+j) mod m][j].
+func skinnyC2RPass2[T any](p *cr.Plan) bandRowFunc[T] {
+	n := p.N
+	return func(br *bandReader[T], i int, tmp []T) {
 		for j := 0; j < n; j++ {
 			tmp[j] = br.read(i+j, j)
 		}
-	})
-
-	// Pass 3: whole-row gather with q.
-	rowPermuteCycles(data, m, n, p.Q, n, o.Workers)
+	}
 }
 
-// r2cSkinny inverts c2rSkinny pass by pass:
-//
-//  1. the row permutation q^{-1} by whole-row cycle following;
-//  2. the p^{-1} rotation as a backward band sweep with look-behind n-1;
-//  3. fused row shuffle + inverse pre-rotation: a backward band sweep
-//     gathering out[i][j] = in[(i - ⌊j/b⌋) mod m][(i + j*m) mod n]
-//     (substituting r = i - ⌊j/b⌋ into d'_r(j) collapses the rotation
-//     term, so the source column needs no inverse map at all).
-func r2cSkinny[T any](data []T, p *cr.Plan, o Opts) {
-	if !skinnyViable(p) {
-		r2cCacheAware(data, p, o)
-		return
-	}
-	m, n := p.M, p.N
-	mModN := m % n
-
-	rowPermuteCycles(data, m, n, p.QInv, n, o.Workers)
-
-	// Pass 2: out[i][j] = in[(i-j) mod m][j].
-	bandBackward(data, m, n, n-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+// skinnyR2CPass2 is the p^{-1} rotation as a backward band sweep with
+// look-behind n-1: out[i][j] = in[(i-j) mod m][j].
+func skinnyR2CPass2[T any](p *cr.Plan) bandRowFunc[T] {
+	n := p.N
+	return func(br *bandReader[T], i int, tmp []T) {
 		for j := 0; j < n; j++ {
 			tmp[j] = br.read(i-j, j)
 		}
-	})
+	}
+}
 
-	// Pass 3: fused gather; source column (i + j*m) mod n advances
-	// incrementally, source row i - ⌊j/b⌋ decrements every b columns.
-	bandBackward(data, m, n, p.C-1, o.Workers, func(br *bandReader[T], i int, tmp []T) {
+// skinnyR2CPass3 is the fused row shuffle + inverse pre-rotation: a
+// backward band sweep gathering
+// out[i][j] = in[(i - ⌊j/b⌋) mod m][(i + j*m) mod n] (substituting
+// r = i - ⌊j/b⌋ into d'_r(j) collapses the rotation term, so the source
+// column needs no inverse map at all). The source column advances
+// incrementally; the source row decrements every b columns.
+func skinnyR2CPass3[T any](p *cr.Plan) bandRowFunc[T] {
+	m, n, b := p.M, p.N, p.B
+	mModN := m % n
+	return func(br *bandReader[T], i int, tmp []T) {
 		jb := 0
 		jm := i % n // (i + j*m) mod n at j = 0
 		sr := i     // unreduced source row i - rot
@@ -136,12 +126,12 @@ func r2cSkinny[T any](data []T, p *cr.Plan, o Opts) {
 				jm -= n
 			}
 			jb++
-			if jb == p.B {
+			if jb == b {
 				jb = 0
 				sr--
 			}
 		}
-	})
+	}
 }
 
 // bandReader resolves banded row reads for one chunk of a sweep: rows
@@ -184,50 +174,80 @@ func (br *bandReader[T]) read(sr, col int) T {
 	return br.wrap[(sr+br.band)*br.n+col]
 }
 
-// bandForward sweeps rows 0..m-1 upward in parallel chunks, calling
-// row(br, i, tmp) to produce each destination row into tmp before copying
-// it over row i. Sources must satisfy i <= srcRow <= i+band (mod m);
-// every chunk snapshots the band at its successor's start (and the global
-// head for the wrap-around) before the sweep begins.
-func bandForward[T any](data []T, m, n, band, workers int, row func(br *bandReader[T], i int, tmp []T)) {
-	if band < 0 {
-		band = 0
-	}
-	minChunk := band
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	bounds := parallel.Bounds(m, workers, minChunk)
-	nchunks := len(bounds) - 1
-	saved := make([][]T, nchunks)
-	if band > 0 {
-		for k := 0; k < nchunks; k++ {
-			buf := make([]T, band*n)
-			copy(buf, data[bounds[k]*n:(bounds[k]+band)*n])
-			saved[k] = buf
-		}
-	}
-	parallel.ForBounds(bounds, func(w, lo, hi int) {
-		br := &bandReader[T]{data: data, n: n, m: m, lo: lo, hi: hi, band: band, forward: true}
-		if band > 0 {
-			if w+1 < nchunks {
-				br.outside = saved[w+1]
-			}
-			br.wrap = saved[0]
-		}
-		tmp := make([]T, n)
+// bandChunkRange sweeps rows [lo, hi) of one chunk (upward when forward,
+// downward otherwise), calling row(br, i, tmp) to produce each
+// destination row into tmp before copying it over row i. br must already
+// be initialized for the chunk; tmp must hold at least n elements.
+func bandChunkRange[T any](br *bandReader[T], data []T, n int, forward bool, row bandRowFunc[T], tmp []T, lo, hi int) {
+	if forward {
 		for i := lo; i < hi; i++ {
 			row(br, i, tmp)
 			copy(data[i*n:i*n+n], tmp)
 		}
-	})
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		row(br, i, tmp)
+		copy(data[i*n:i*n+n], tmp)
+	}
+}
+
+// snapshotBands copies, for every chunk of bounds, the band of rows the
+// neighbouring chunk will overwrite before the sweep reaches them: the
+// band at each chunk's start for forward sweeps (its predecessor reads
+// ahead into it, and saved[0] doubles as the wrap-around band), or the
+// band below each chunk's end for backward sweeps (saved[nchunks-1]
+// doubles as the wrap-around band). saved[k] must hold band*n elements.
+func snapshotBands[T any](data []T, n, band int, forward bool, bounds []int, saved [][]T) {
+	if band <= 0 {
+		return
+	}
+	for k := 0; k+1 < len(bounds); k++ {
+		if forward {
+			copy(saved[k], data[bounds[k]*n:(bounds[k]+band)*n])
+		} else {
+			copy(saved[k], data[(bounds[k+1]-band)*n:bounds[k+1]*n])
+		}
+	}
+}
+
+// bandNeighbors resolves, for chunk w of a sweep over nchunks chunks,
+// which snapshots serve out-of-chunk reads: the adjacent chunk's band and
+// the wrap-around band.
+func bandNeighbors[T any](saved [][]T, band, nchunks, w int, forward bool) (outside, wrap []T) {
+	if band <= 0 {
+		return nil, nil
+	}
+	if forward {
+		if w+1 < nchunks {
+			outside = saved[w+1]
+		}
+		return outside, saved[0]
+	}
+	if w > 0 {
+		outside = saved[w-1]
+	}
+	return outside, saved[nchunks-1]
+}
+
+// bandForward sweeps rows 0..m-1 upward in parallel chunks. Sources must
+// satisfy i <= srcRow <= i+band (mod m); every chunk snapshots the band
+// at its successor's start (and the global head for the wrap-around)
+// before the sweep begins. One-shot form allocating its own snapshots and
+// scratch; the Engine path reuses arena buffers instead.
+func bandForward[T any](data []T, m, n, band, workers int, row bandRowFunc[T]) {
+	bandSweepOneShot(data, m, n, band, workers, true, row)
 }
 
 // bandBackward sweeps rows m-1..0 downward in parallel chunks. Sources
 // must satisfy i-band <= srcRow <= i (mod m); every chunk snapshots the
 // band just below its start (its predecessor's tail; the global tail for
 // the wrap-around).
-func bandBackward[T any](data []T, m, n, band, workers int, row func(br *bandReader[T], i int, tmp []T)) {
+func bandBackward[T any](data []T, m, n, band, workers int, row bandRowFunc[T]) {
+	bandSweepOneShot(data, m, n, band, workers, false, row)
+}
+
+func bandSweepOneShot[T any](data []T, m, n, band, workers int, forward bool, row bandRowFunc[T]) {
 	if band < 0 {
 		band = 0
 	}
@@ -237,32 +257,17 @@ func bandBackward[T any](data []T, m, n, band, workers int, row func(br *bandRea
 	}
 	bounds := parallel.Bounds(m, workers, minChunk)
 	nchunks := len(bounds) - 1
-	saved := make([][]T, nchunks)
+	var saved [][]T
 	if band > 0 {
-		for k := 0; k < nchunks; k++ {
-			buf := make([]T, band*n)
-			copy(buf, data[(bounds[k+1]-band)*n:bounds[k+1]*n])
-			saved[k] = buf
+		saved = make([][]T, nchunks)
+		for k := range saved {
+			saved[k] = make([]T, band*n)
 		}
+		snapshotBands(data, n, band, forward, bounds, saved)
 	}
 	parallel.ForBounds(bounds, func(w, lo, hi int) {
-		br := &bandReader[T]{data: data, n: n, m: m, lo: lo, hi: hi, band: band, forward: false}
-		if band > 0 {
-			if w > 0 {
-				// outside[(sr-lo)*n+col] with sr in [lo-band, lo):
-				// saved[w-1] holds rows [lo-band, lo), so shift its base
-				// by reslicing from index -(lo-band)... express via the
-				// reader's sr-lo offset: outside must be indexed with
-				// (sr-(lo-band)); store the slice so that
-				// (sr-lo+band) = sr-(lo-band) indexes it.
-				br.outside = saved[w-1]
-			}
-			br.wrap = saved[nchunks-1]
-		}
-		tmp := make([]T, n)
-		for i := hi - 1; i >= lo; i-- {
-			row(br, i, tmp)
-			copy(data[i*n:i*n+n], tmp)
-		}
+		br := &bandReader[T]{data: data, n: n, m: m, lo: lo, hi: hi, band: band, forward: forward}
+		br.outside, br.wrap = bandNeighbors(saved, band, nchunks, w, forward)
+		bandChunkRange(br, data, n, forward, row, make([]T, n), lo, hi)
 	})
 }

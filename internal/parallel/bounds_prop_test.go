@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkBoundsInvariants asserts the full Bounds contract for one input:
+//
+//  1. The partition is contiguous and covers exactly [0, n) (or is the
+//     empty [0, 0] partition for n <= 0).
+//  2. Every chunk is non-empty, and at least minChunk wide — except that
+//     n < minChunk yields one chunk covering everything.
+//  3. The chunk count never exceeds the resolved worker count: the
+//     engines index per-worker scratch frames by chunk number, so a
+//     partition with more chunks than workers would read out of range.
+func checkBoundsInvariants(t *testing.T, n, workers, minChunk int) {
+	t.Helper()
+	bounds := Bounds(n, workers, minChunk)
+	if len(bounds) < 2 {
+		t.Fatalf("Bounds(%d, %d, %d) = %v: want at least one chunk", n, workers, minChunk, bounds)
+	}
+	if bounds[0] != 0 {
+		t.Fatalf("Bounds(%d, %d, %d) = %v: does not start at 0", n, workers, minChunk, bounds)
+	}
+	if n <= 0 {
+		if len(bounds) != 2 || bounds[1] != 0 {
+			t.Fatalf("Bounds(%d, %d, %d) = %v: want [0 0]", n, workers, minChunk, bounds)
+		}
+		return
+	}
+	if last := bounds[len(bounds)-1]; last != n {
+		t.Fatalf("Bounds(%d, %d, %d) = %v: does not end at n", n, workers, minChunk, bounds)
+	}
+	mc := minChunk
+	if mc < 1 {
+		mc = 1
+	}
+	nchunks := len(bounds) - 1
+	for k := 0; k < nchunks; k++ {
+		size := bounds[k+1] - bounds[k]
+		if size <= 0 {
+			t.Fatalf("Bounds(%d, %d, %d) = %v: empty chunk %d", n, workers, minChunk, bounds, k)
+		}
+		if size < mc && nchunks > 1 {
+			t.Fatalf("Bounds(%d, %d, %d) = %v: chunk %d narrower than minChunk", n, workers, minChunk, bounds, k)
+		}
+	}
+	if nchunks > Workers(workers) {
+		t.Fatalf("Bounds(%d, %d, %d) = %v: %d chunks exceed %d workers",
+			n, workers, minChunk, bounds, nchunks, Workers(workers))
+	}
+}
+
+func TestBoundsEdgeCases(t *testing.T) {
+	cases := []struct{ n, workers, minChunk int }{
+		{0, 4, 1},       // empty range
+		{0, 0, 0},       // empty range, defaulted workers and minChunk
+		{-3, 4, 2},      // negative range
+		{5, 4, 10},      // minChunk > n: one chunk
+		{10, 100, 3},    // workers > n/minChunk: clamped
+		{10, 3, 3},      // tail shorter than minChunk: merged
+		{1, 1, 1},       // singleton
+		{1, 64, 512},    // singleton with huge minChunk
+		{7, 7, 1},       // one item per worker
+		{8, 7, 1},       // one spare item
+		{512, 4, 512},   // minChunk == n
+		{513, 4, 512},   // minChunk barely < n: tail must merge
+		{1 << 20, 0, 1}, // GOMAXPROCS workers
+	}
+	for _, c := range cases {
+		checkBoundsInvariants(t, c.n, c.workers, c.minChunk)
+	}
+}
+
+func TestBoundsPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for iter := 0; iter < 20000; iter++ {
+		n := rng.Intn(1 << 14)
+		if iter%7 == 0 {
+			n = rng.Intn(4) // stress tiny ranges
+		}
+		workers := rng.Intn(66) - 1 // includes -1 and 0 (defaulted)
+		minChunk := rng.Intn(600) - 2
+		checkBoundsInvariants(t, n, workers, minChunk)
+	}
+}

@@ -1,0 +1,137 @@
+package inplace
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"inplace/internal/core"
+	"inplace/internal/parallel"
+)
+
+// Planner binds a Plan to an element type and owns everything repeated
+// executions of the same shape can share: the precomputed pass schedule
+// (chunk partitions, rotation closures, fixed-point divisors), the
+// lazily-built cycle decomposition of the shared row permutation q, a
+// recycled scratch arena sized for the plan, and — for multi-worker
+// plans — the process-wide persistent worker pool. After the first
+// Execute has warmed the arena, subsequent Executes perform no heap
+// allocation at all.
+//
+// A Planner is safe for concurrent use: simultaneous Executes on
+// distinct buffers each draw a private scratch state from the arena.
+type Planner[T any] struct {
+	p   *Plan
+	eng *core.Engine[T]
+}
+
+// NewPlanner validates the shape and precomputes an execution plan for
+// transposing rows×cols arrays of T repeatedly. The variadic opts
+// follows TransposeBatch: at most one Options value is honoured.
+func NewPlanner[T any](rows, cols int, opts ...Options) (*Planner[T], error) {
+	o := Options{}
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	p, err := NewPlan(rows, cols, o)
+	if err != nil {
+		return nil, err
+	}
+	return newPlanner[T](p), nil
+}
+
+func newPlanner[T any](p *Plan) *Planner[T] {
+	op := p.opts
+	if parallel.Workers(op.Workers) > 1 {
+		// Multi-worker plans dispatch passes onto the persistent
+		// process-wide pool instead of spawning goroutines per pass.
+		op.Pool = parallel.Shared()
+	}
+	return &Planner[T]{p: p, eng: core.NewEngine[T](core.NewSchedule(p.plan, op))}
+}
+
+// Execute transposes data in place according to the plan. data must
+// hold Rows()*Cols() elements; afterwards it holds the transposed
+// array (cols×rows in the plan's order convention).
+func (pl *Planner[T]) Execute(data []T) error {
+	if len(data) != pl.p.rows*pl.p.cols {
+		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), pl.p.rows*pl.p.cols)
+	}
+	if pl.p.useC2R {
+		pl.eng.C2R(data)
+	} else {
+		pl.eng.R2C(data)
+	}
+	return nil
+}
+
+// Plan returns the underlying shape plan.
+func (pl *Planner[T]) Plan() *Plan { return pl.p }
+
+// Rows returns the logical row count the planner transposes from.
+func (pl *Planner[T]) Rows() int { return pl.p.rows }
+
+// Cols returns the logical column count the planner transposes from.
+func (pl *Planner[T]) Cols() int { return pl.p.cols }
+
+// String describes the planner.
+func (pl *Planner[T]) String() string { return pl.p.String() }
+
+// --- Keyed planner cache ---
+//
+// Transpose, TransposeWith and TransposeBatch route through a small
+// process-wide cache of planners keyed by shape, options and element
+// type, so ad-hoc callers that transpose the same shape repeatedly get
+// the amortized hot path without managing Planner lifetimes themselves.
+
+// plannerKey identifies one cached planner. Options is a comparable
+// struct of plain ints, so the whole key is comparable.
+type plannerKey struct {
+	rows, cols int
+	opts       Options
+	typ        reflect.Type
+}
+
+// plannerCacheCap bounds the cache; beyond it the oldest entries are
+// evicted FIFO. Scratch arenas are garbage-collectable sync.Pools, so
+// an evicted planner's memory is reclaimed once callers drop it.
+const plannerCacheCap = 128
+
+var plannerCache struct {
+	mu    sync.RWMutex
+	m     map[plannerKey]any
+	order []plannerKey
+}
+
+// plannerFor returns the cached planner for (rows, cols, o, T),
+// building and inserting it on first use.
+func plannerFor[T any](rows, cols int, o Options) (*Planner[T], error) {
+	key := plannerKey{rows: rows, cols: cols, opts: o, typ: reflect.TypeFor[T]()}
+	plannerCache.mu.RLock()
+	v, ok := plannerCache.m[key]
+	plannerCache.mu.RUnlock()
+	if ok {
+		return v.(*Planner[T]), nil
+	}
+	pl, err := NewPlanner[T](rows, cols, o)
+	if err != nil {
+		return nil, err
+	}
+	plannerCache.mu.Lock()
+	defer plannerCache.mu.Unlock()
+	if v, ok := plannerCache.m[key]; ok {
+		// Another goroutine built the same planner concurrently; keep
+		// the published one so all callers share its arena.
+		return v.(*Planner[T]), nil
+	}
+	if plannerCache.m == nil {
+		plannerCache.m = make(map[plannerKey]any)
+	}
+	for len(plannerCache.order) >= plannerCacheCap {
+		delete(plannerCache.m, plannerCache.order[0])
+		plannerCache.order = plannerCache.order[1:]
+	}
+	plannerCache.m[key] = pl
+	plannerCache.order = append(plannerCache.order, key)
+	return pl, nil
+}
