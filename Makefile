@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench clean
+.PHONY: ci vet build test race fuzz bench tune-smoke clean
 
-# ci is the full gate: static checks, build, tests, and the race
-# detector (short mode keeps the race shapes small).
-ci: vet build test race
+# ci is the full gate: static checks, build, tests, the race detector
+# (short mode keeps the race shapes small), and a capped autotuner run.
+ci: vet build test race tune-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,9 +25,18 @@ fuzz:
 	$(GO) test -fuzz FuzzTranspose -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzPlannerReuse -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzAOSRoundTrip -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzWisdomRoundTrip -fuzztime $(FUZZTIME) ./internal/tune
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# tune-smoke exercises the whole autotuner pipeline end to end on tiny
+# shapes with capped measurement budgets: batch-tune, write a wisdom
+# file, and read it back. Seconds, not minutes — cheap enough for ci.
+tune-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/xposetune -shapes 64x48,512x6,32x96 -elem 8 -workers 1 -fast -o results/wisdom-smoke.json
+	$(GO) run ./cmd/xposetune -list results/wisdom-smoke.json
 
 clean:
 	$(GO) clean

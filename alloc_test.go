@@ -65,3 +65,19 @@ func TestExecuteZeroAllocGcdShapes(t *testing.T) {
 	// gcd > 1 enables the pre-rotation pass and its rotation closures.
 	requireZeroAllocs(t, 120, 96, inplace.Options{Workers: 1, Method: inplace.CacheAware})
 }
+
+func TestExecuteZeroAllocTuned(t *testing.T) {
+	// A planner resolved through the wisdom table must keep the
+	// zero-alloc steady state: wisdom only changes which plan is built,
+	// never the Execute path. Tune under a 1-worker budget so the
+	// recorded decision matches the Workers:1 lookups below, whatever
+	// variant the measurement picks.
+	defer inplace.ClearWisdom()
+	for _, sh := range []struct{ rows, cols int }{{256, 192}, {20000, 6}} {
+		if _, err := inplace.Tune[int64](sh.rows, sh.cols, inplace.TuneConfig{Workers: 1, Fast: true}); err != nil {
+			t.Fatal(err)
+		}
+		requireZeroAllocs(t, sh.rows, sh.cols, inplace.Options{Workers: 1})
+		requireZeroAllocs(t, sh.rows, sh.cols, inplace.Options{Workers: 1, Tuning: inplace.WisdomRequired})
+	}
+}

@@ -13,19 +13,29 @@ import "fmt"
 // passes stream, and conversion proceeds at transpose speed. The paper
 // measured this at a median 34.3 GB/s on the K20c (Figure 7).
 
-// AOSToSOA converts an Array of Structures to a Structure of Arrays in
-// place: data holds count structures of fields elements each; afterwards
-// it holds fields arrays of count elements each.
-func AOSToSOA[T any](data []T, count, fields int, opts ...Options) error {
+// aosArgs validates the shared AOSToSOA/SOAToAOS contract — positive
+// shape, matching buffer length — and resolves the variadic options.
+func aosArgs[T any](data []T, count, fields int, opts []Options) (Options, error) {
 	o := Options{}
 	if len(opts) > 0 {
 		o = opts[0]
 	}
 	if count <= 0 || fields <= 0 {
-		return fmt.Errorf("%w (got count=%d fields=%d)", ErrShape, count, fields)
+		return o, fmt.Errorf("%w (got count=%d fields=%d)", ErrShape, count, fields)
 	}
 	if len(data) != count*fields {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*fields)
+		return o, fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*fields)
+	}
+	return o, nil
+}
+
+// AOSToSOA converts an Array of Structures to a Structure of Arrays in
+// place: data holds count structures of fields elements each; afterwards
+// it holds fields arrays of count elements each.
+func AOSToSOA[T any](data []T, count, fields int, opts ...Options) error {
+	o, err := aosArgs(data, count, fields, opts)
+	if err != nil {
+		return err
 	}
 	return TransposeWith(data, count, fields, o)
 }
@@ -34,15 +44,9 @@ func AOSToSOA[T any](data []T, count, fields int, opts ...Options) error {
 // Structures in place: data holds fields arrays of count elements each;
 // afterwards it holds count structures of fields elements each.
 func SOAToAOS[T any](data []T, count, fields int, opts ...Options) error {
-	o := Options{}
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	if count <= 0 || fields <= 0 {
-		return fmt.Errorf("%w (got count=%d fields=%d)", ErrShape, count, fields)
-	}
-	if len(data) != count*fields {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*fields)
+	o, err := aosArgs(data, count, fields, opts)
+	if err != nil {
+		return err
 	}
 	return TransposeWith(data, fields, count, o)
 }

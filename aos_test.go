@@ -1,0 +1,66 @@
+package inplace
+
+import "testing"
+
+// TestAOSDegenerateShapes covers the no-op shapes of the conversion: a
+// single structure (count==1) and a single field (fields==1) are both
+// already their own transpose — a 1×n or n×1 matrix — so conversion
+// must leave the buffer bit-identical in either direction.
+func TestAOSDegenerateShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		count, fields int
+	}{
+		{"one structure", 1, 17},
+		{"one field", 1024, 1},
+		{"single element", 1, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.count * tc.fields
+			data := make([]uint64, n)
+			orig := make([]uint64, n)
+			for i := range data {
+				data[i] = uint64(i)*0x9e3779b97f4a7c15 + 7
+				orig[i] = data[i]
+			}
+			if err := AOSToSOA(data, tc.count, tc.fields); err != nil {
+				t.Fatal(err)
+			}
+			for i := range data {
+				if data[i] != orig[i] {
+					t.Fatalf("AOSToSOA(count=%d, fields=%d) changed element %d", tc.count, tc.fields, i)
+				}
+			}
+			if err := SOAToAOS(data, tc.count, tc.fields); err != nil {
+				t.Fatal(err)
+			}
+			for i := range data {
+				if data[i] != orig[i] {
+					t.Fatalf("SOAToAOS(count=%d, fields=%d) changed element %d", tc.count, tc.fields, i)
+				}
+			}
+		})
+	}
+}
+
+// TestAOSSharedValidation pins the deduplicated helper: both directions
+// reject the same malformed arguments with the same typed errors.
+func TestAOSSharedValidation(t *testing.T) {
+	for name, call := range map[string]func([]int, int, int) error{
+		"AOSToSOA": func(d []int, c, f int) error { return AOSToSOA(d, c, f) },
+		"SOAToAOS": func(d []int, c, f int) error { return SOAToAOS(d, c, f) },
+	} {
+		if err := call(make([]int, 6), 0, 3); err == nil {
+			t.Errorf("%s accepted count=0", name)
+		}
+		if err := call(make([]int, 6), 2, -3); err == nil {
+			t.Errorf("%s accepted fields=-3", name)
+		}
+		if err := call(make([]int, 5), 2, 3); err == nil {
+			t.Errorf("%s accepted a short buffer", name)
+		}
+		if err := call(nil, 1, 1); err == nil {
+			t.Errorf("%s accepted a nil buffer for 1x1", name)
+		}
+	}
+}

@@ -11,6 +11,14 @@
 //
 //	benchsuite [-run fig3,table1|all] [-scale tiny|small|paper]
 //	           [-workers N] [-seed S] [-out results/]
+//	           [-wisdom wisdom.json] [-tune] [-bench-json BENCH_PR2.json]
+//
+// -wisdom loads an autotuner wisdom file (cmd/xposetune) so experiments
+// that plan with default options use measured decisions; -tune makes
+// the "tuned" experiment calibrate in-process (and saves back to the
+// -wisdom file, if given). -bench-json writes the fixed micro suite —
+// per-experiment ns/op, GB/s and allocs/op — as machine-readable JSON;
+// the repo root's BENCH_PR2.json is generated this way.
 //
 // The default small scale shrinks the paper's matrix sizes to
 // laptop-class footprints while preserving every comparison; -scale
@@ -25,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"inplace"
 	"inplace/internal/bench"
 )
 
@@ -35,6 +44,9 @@ func main() {
 	seed := flag.Int64("seed", 2014, "workload RNG seed")
 	out := flag.String("out", "results", "directory for CSV output ('' = none)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	wisdom := flag.String("wisdom", "", "wisdom file to load before measuring (with -tune: save new decisions back)")
+	tune := flag.Bool("tune", false, "autotune the 'tuned' experiment's shapes in-process")
+	benchJSON := flag.String("bench-json", "", "write the machine-readable micro suite (ns/op, GB/s, allocs) to this file ('' = skip)")
 	flag.Parse()
 
 	if *list {
@@ -49,7 +61,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsuite: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	cfg := bench.Config{Scale: sc, Workers: *workers, Seed: *seed}
+	cfg := bench.Config{Scale: sc, Workers: *workers, Seed: *seed, Tune: *tune}
+
+	if *wisdom != "" {
+		if err := inplace.LoadWisdom(*wisdom); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded wisdom: %d decisions from %s\n\n", inplace.WisdomLen(), *wisdom)
+	}
 
 	var ids []string
 	if *run == "all" {
@@ -87,5 +107,28 @@ func main() {
 			}
 		}
 		fmt.Printf("== %s done in %v (scale=%s) ==\n\n", id, time.Since(start).Round(time.Millisecond), sc)
+	}
+
+	if *tune && *wisdom != "" {
+		if err := inplace.SaveWisdom(*wisdom); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved wisdom: %d decisions to %s\n", inplace.WisdomLen(), *wisdom)
+	}
+
+	if *benchJSON != "" {
+		start := time.Now()
+		report := bench.Micro(cfg)
+		raw, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s in %v]\n", *benchJSON, time.Since(start).Round(time.Millisecond))
 	}
 }

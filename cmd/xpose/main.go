@@ -29,6 +29,8 @@ func main() {
 	method := flag.String("method", "auto", "engine: auto, algorithm1, gather, cache-aware or skinny")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	demo := flag.String("demo", "", "print a figure walkthrough (fig1 or fig2) and exit")
+	wisdom := flag.String("wisdom", "", "wisdom file to load before planning (see cmd/xposetune)")
+	tuneFirst := flag.Bool("tune", false, "measure-tune the shape before transposing (with -wisdom: save the decision back)")
 	flag.Parse()
 
 	if *demo != "" {
@@ -62,6 +64,33 @@ func main() {
 		o.Method = inplace.SkinnyMethod
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	// Wisdom flow: load recorded decisions first, optionally refresh the
+	// one for this shape by measurement, and let the planner consult the
+	// result (Options.Tuning defaults to WisdomAuto).
+	if *wisdom != "" {
+		if err := inplace.LoadWisdom(*wisdom); err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+	if *tuneFirst {
+		// Order normalization happens inside the planner; tune the shape
+		// as the planner will see it.
+		tr, tc := *rows, *cols
+		if o.Order == inplace.ColMajor {
+			tr, tc = tc, tr
+		}
+		res, err := inplace.TuneElem(tr, tc, *elem, inplace.TuneConfig{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		if *wisdom != "" {
+			if err := inplace.SaveWisdom(*wisdom); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	path := flag.Arg(0)

@@ -1,0 +1,122 @@
+// Command xposetune batch-tunes a list of matrix shapes and writes the
+// measured-optimal decisions to a wisdom file that library users load
+// with inplace.LoadWisdom (or the -wisdom flags of cmd/xpose and
+// cmd/benchsuite). It is the offline half of the FFTW-wisdom pattern:
+// spend measurement time once per machine, then every process planning
+// those shapes gets the measured plan instead of the static heuristic.
+//
+// Usage:
+//
+//	xposetune -shapes 1024x1024,100000x8 [-elem 8] [-workers 0]
+//	          [-o wisdom.json] [-merge] [-fast]
+//	xposetune -list wisdom.json
+//
+// -merge folds the new measurements over an existing wisdom file
+// instead of replacing it; unknown-version files merge as empty. -fast
+// caps measurement for smoke runs (noisy decisions, full code path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"inplace"
+	"inplace/internal/tune"
+)
+
+func main() {
+	shapes := flag.String("shapes", "", "comma-separated RxC shape list to tune (e.g. 1024x1024,100000x8)")
+	elem := flag.Int("elem", 8, "element size in bytes (1, 2, 4 or 8)")
+	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS); part of the wisdom key")
+	out := flag.String("o", "wisdom.json", "output wisdom file")
+	merge := flag.Bool("merge", false, "merge into an existing output file instead of replacing it")
+	fast := flag.Bool("fast", false, "capped smoke measurement (fast, noisy)")
+	list := flag.String("list", "", "print the entries of a wisdom file and exit")
+	flag.Parse()
+
+	if *list != "" {
+		listWisdom(*list)
+		return
+	}
+	if *shapes == "" {
+		fmt.Fprintln(os.Stderr, "usage: xposetune -shapes RxC[,RxC...] [-elem B] [-o wisdom.json]")
+		os.Exit(2)
+	}
+
+	if *merge {
+		if err := inplace.LoadWisdom(*out); err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+
+	cfg := inplace.TuneConfig{Workers: *workers, Fast: *fast}
+	for _, spec := range strings.Split(*shapes, ",") {
+		rows, cols, err := parseShape(spec)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := inplace.TuneElem(rows, cols, *elem, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+	}
+
+	if err := inplace.SaveWisdom(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d decisions to %s\n", inplace.WisdomLen(), *out)
+}
+
+func parseShape(spec string) (rows, cols int, err error) {
+	spec = strings.TrimSpace(spec)
+	a, b, ok := strings.Cut(spec, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("shape %q is not RxC", spec)
+	}
+	rows, err = strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shape %q: %v", spec, err)
+	}
+	cols, err = strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shape %q: %v", spec, err)
+	}
+	if rows <= 0 || cols <= 0 {
+		return 0, 0, fmt.Errorf("shape %q must be positive", spec)
+	}
+	return rows, cols, nil
+}
+
+func listWisdom(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := tune.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	if t.Len() == 0 {
+		fmt.Printf("%s: no usable entries (empty or unknown version)\n", path)
+		return
+	}
+	for _, k := range t.Keys() {
+		d, _ := t.Lookup(k)
+		dir := "R2C"
+		if d.C2R {
+			dir = "C2R"
+		}
+		fmt.Printf("%-24s %s %s workers=%d blockw=%d %.2f GB/s\n",
+			k, d.Variant, dir, d.Workers, d.BlockW, d.GBps)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xposetune:", err)
+	os.Exit(1)
+}

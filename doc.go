@@ -77,4 +77,38 @@
 // processor perform Array-of-Structures accesses at full memory
 // bandwidth, lives in internal/simd with its bandwidth model in
 // internal/memsim; cmd/benchsuite reproduces the paper's figures with it.
+//
+// # Autotuning and wisdom
+//
+// The static heuristics above pick well on average, but the real
+// crossover between the engine variants, the C2R/R2C direction, worker
+// counts and tile widths depends on the machine (cache sizes, core
+// count, memory bandwidth). Tune measures the actual candidate space
+// for one shape and records the winner in a process-wide "wisdom" table
+// — the same measured-plan-selection idea as FFTW's wisdom:
+//
+//	inplace.Tune[float64](rows, cols)        // measure once...
+//	pl, _ := inplace.NewPlanner[float64](rows, cols)
+//	pl.Execute(data)                         // ...runs the measured winner
+//
+// Wisdom is consulted whenever a typed planner resolves a shape whose
+// Options leave the corresponding fields at their zero values: an
+// explicit Method, Direction, Workers or BlockWidth always wins over
+// wisdom, Options.Tuning == WisdomOff ignores the table entirely, and
+// WisdomRequired fails with ErrNoWisdom instead of falling back to the
+// heuristic. Entries are keyed by (rows, cols, element size, resolved
+// worker budget), so float64 and uint64 share wisdom but float32 does
+// not, and a decision tuned for one worker budget never leaks into
+// another.
+//
+// SaveWisdom and LoadWisdom persist the table as versioned JSON.
+// Loading merges (incoming entries win), rejects corrupt files with an
+// error satisfying errors.Is(err, tune.ErrCorrupt), and silently skips
+// files written by an unknown future format version. Wisdom measures
+// this machine: a file tuned on one host is safe but pointless to load
+// on another, and should be re-tuned after hardware or Go toolchain
+// changes. Tuning costs real time (tens of milliseconds per shape with
+// TuneConfig.Fast, a second or so at default budgets) — tune shapes
+// that will be transposed many times, or batch-tune offline with
+// cmd/xposetune and ship the file.
 package inplace

@@ -79,6 +79,47 @@ type Options struct {
 	// Direction forces the C2R or R2C formulation instead of the
 	// shape heuristic. Zero is the heuristic.
 	Direction Direction
+	// Tuning controls whether the planner consults the process wisdom
+	// table (measured-optimal decisions recorded by Tune or loaded with
+	// LoadWisdom) before falling back to the static heuristics. The zero
+	// value WisdomAuto consults wisdom; see the Tuning constants.
+	Tuning Tuning
+}
+
+// Tuning selects how the planner uses the process wisdom table.
+type Tuning int
+
+const (
+	// WisdomAuto consults wisdom for every option left at its zero value
+	// (Method Auto, heuristic Direction, Workers 0, BlockWidth 0):
+	// matching wisdom fills those in with the measured-optimal choice,
+	// anything the caller set explicitly is honoured, and with no
+	// matching wisdom the static heuristics apply unchanged. This is the
+	// zero value: an untuned process behaves exactly as before.
+	WisdomAuto Tuning = iota
+	// WisdomOff ignores the wisdom table entirely; the static heuristics
+	// decide. Use it to measure the heuristic baseline in a tuned
+	// process.
+	WisdomOff
+	// WisdomRequired fails plan construction with ErrNoWisdom when no
+	// wisdom matches, instead of falling back to the heuristics. Use it
+	// where an untuned configuration must be caught at startup rather
+	// than silently served.
+	WisdomRequired
+)
+
+// String names the tuning mode.
+func (t Tuning) String() string {
+	switch t {
+	case WisdomAuto:
+		return "wisdom-auto"
+	case WisdomOff:
+		return "wisdom-off"
+	case WisdomRequired:
+		return "wisdom-required"
+	default:
+		return fmt.Sprintf("Tuning(%d)", int(t))
+	}
 }
 
 // Direction optionally forces which of the two mutually-inverse
@@ -104,6 +145,7 @@ type Plan struct {
 	useC2R     bool
 	plan       *cr.Plan // C2R: (rows×cols); R2C: (cols×rows)
 	variant    core.Variant
+	method     Method
 	opts       core.Opts
 }
 
@@ -113,9 +155,25 @@ var ErrShape = errors.New("inplace: rows and cols must be positive")
 // ErrLength reports a data slice whose length does not match the plan.
 var ErrLength = errors.New("inplace: data length does not match rows*cols")
 
+// ErrNoWisdom reports a plan requested with WisdomRequired for a shape
+// the process wisdom table has no entry for.
+var ErrNoWisdom = errors.New("inplace: no wisdom for shape")
+
 // NewPlan validates the shape and resolves the engine for transposing a
 // rows×cols array with the given options.
+//
+// NewPlan does not know the element size, so it never consults the
+// wisdom table (whose decisions are per element size); the typed paths —
+// NewPlanner, Transpose, TransposeWith, TransposeBatch, the AoS
+// conversions — do.
 func NewPlan(rows, cols int, o Options) (*Plan, error) {
+	return newPlanElem(rows, cols, o, 0)
+}
+
+// newPlanElem is NewPlan with a known element size: elemSize > 0 makes
+// the wisdom table eligible to resolve every option the caller left at
+// its zero value. elemSize 0 (the untyped NewPlan path) skips wisdom.
+func newPlanElem(rows, cols int, o Options, elemSize int) (*Plan, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("%w (got %dx%d)", ErrShape, rows, cols)
 	}
@@ -124,6 +182,14 @@ func NewPlan(rows, cols int, o Options) (*Plan, error) {
 		// a row-major cols×rows buffer; transposing either is the same
 		// linear permutation.
 		rows, cols = cols, rows
+		o.Order = RowMajor
+	}
+	if elemSize > 0 && o.Tuning != WisdomOff {
+		if d, ok := lookupWisdom(rows, cols, elemSize, o.Workers); ok {
+			o = applyWisdom(o, d)
+		} else if o.Tuning == WisdomRequired {
+			return nil, fmt.Errorf("%w (%dx%d, %d-byte elements)", ErrNoWisdom, rows, cols, elemSize)
+		}
 	}
 	p := &Plan{rows: rows, cols: cols}
 
@@ -173,6 +239,7 @@ func NewPlan(rows, cols int, o Options) (*Plan, error) {
 	default:
 		return nil, fmt.Errorf("inplace: unknown method %v", method)
 	}
+	p.method = method
 	p.opts = core.Opts{Workers: o.Workers, Variant: p.variant, BlockW: o.BlockWidth}
 	return p, nil
 }
@@ -186,6 +253,14 @@ func (p *Plan) Cols() int { return p.cols }
 // UsesC2R reports whether the plan runs the C2R pipeline (as opposed to
 // R2C).
 func (p *Plan) UsesC2R() bool { return p.useC2R }
+
+// Method returns the resolved engine selection: what Auto (or wisdom)
+// actually chose. It never returns Auto.
+func (p *Plan) Method() Method { return p.method }
+
+// Workers returns the worker count the plan resolved (0 = GOMAXPROCS),
+// after any wisdom override.
+func (p *Plan) Workers() int { return p.opts.Workers }
 
 // String describes the plan.
 func (p *Plan) String() string {

@@ -14,6 +14,10 @@ type Config struct {
 	Scale   Scale
 	Workers int // 0 = GOMAXPROCS
 	Seed    int64
+	// Tune makes the "tuned" experiment run the autotuner in-process
+	// (cmd/benchsuite -tune); without it the experiment relies on wisdom
+	// already loaded via -wisdom, if any.
+	Tune bool
 }
 
 func (c Config) workers() int {
@@ -48,13 +52,14 @@ var Experiments = map[string]func(Config) []Result{
 	"locality":  Locality,
 	"gpusim":    GPUSim,
 	"planreuse": PlanReuse,
+	"tuned":     Tuned,
 }
 
 // ExperimentOrder lists experiment ids in paper order.
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig3", "table1", "fig4", "fig5",
 	"fig6", "table2", "fig7", "fig8", "fig9", "locality", "gpusim",
-	"planreuse",
+	"planreuse", "tuned",
 }
 
 // --- Figure 3 / Table 1: CPU in-place transposition throughput ---

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"inplace"
+)
+
+// The micro suite is the machine-readable bench trajectory: a fixed set
+// of named micro-experiments measured with testing.Benchmark so every
+// run reports comparable ns/op, GB/s and allocs/op. cmd/benchsuite
+// serializes the report to BENCH_PR2.json at the repo root; successive
+// PRs regenerate it, so the numbers form a history instead of living
+// only in scrollback.
+
+// MicroResult is one micro-experiment measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	GBps        float64 `json:"gbps"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+}
+
+// MicroReport is the full serialized artifact.
+type MicroReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []MicroResult `json:"experiments"`
+}
+
+// JSON renders the report with stable formatting.
+func (r MicroReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// microCase is one named benchmark body transposing an m×n matrix of
+// 8-byte elements per op (the throughput normalization).
+type microCase struct {
+	name string
+	m, n int
+	prep func() func() // returns the per-op body
+}
+
+func microCases(workers int) []microCase {
+	return []microCase{
+		{
+			// Planning on the critical path: schedule + arena + cycles
+			// rebuilt every op.
+			name: "transpose_cold_256x192", m: 256, n: 192,
+			prep: func() func() {
+				data := make([]uint64, 256*192)
+				FillSeq(data)
+				return func() {
+					pl, err := inplace.NewPlanner[uint64](256, 192, inplace.Options{Workers: 1})
+					if err != nil {
+						panic(err)
+					}
+					if err := pl.Execute(data); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+		{
+			name: "planner_warm_cacheaware_512x384_w1", m: 512, n: 384,
+			prep: warmPlanner(512, 384, inplace.Options{Workers: 1, Method: inplace.CacheAware}),
+		},
+		{
+			name: "planner_warm_cacheaware_512x384_parallel", m: 512, n: 384,
+			prep: warmPlanner(512, 384, inplace.Options{Workers: workers, Method: inplace.CacheAware}),
+		},
+		{
+			name: "planner_warm_skinny_100000x8_w1", m: 100000, n: 8,
+			prep: warmPlanner(100000, 8, inplace.Options{
+				Workers: 1, Method: inplace.SkinnyMethod, Direction: inplace.ForceC2R,
+			}),
+		},
+		{
+			// The cached-planner ad-hoc path: plannerFor hit + Execute.
+			name: "transpose_cached_192x256", m: 192, n: 256,
+			prep: func() func() {
+				data := make([]uint64, 192*256)
+				FillSeq(data)
+				return func() {
+					if err := inplace.Transpose(data, 192, 256); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+		{
+			name: "transpose_batch_64of48x32", m: 64 * 48, n: 32,
+			prep: func() func() {
+				data := make([]uint64, 64*48*32)
+				FillSeq(data)
+				return func() {
+					if err := inplace.TransposeBatch(data, 64, 48, 32); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+		{
+			name: "aos_to_soa_200000x4", m: 200000, n: 4,
+			prep: func() func() {
+				data := make([]uint64, 200000*4)
+				FillSeq(data)
+				return func() {
+					if err := inplace.AOSToSOA(data, 200000, 4); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+	}
+}
+
+// warmPlanner builds the planner and warms its arena outside the
+// measured region, so the case reports the steady-state Execute.
+func warmPlanner(rows, cols int, o inplace.Options) func() func() {
+	return func() func() {
+		pl, err := inplace.NewPlanner[uint64](rows, cols, o)
+		if err != nil {
+			panic(err)
+		}
+		data := make([]uint64, rows*cols)
+		FillSeq(data)
+		if err := pl.Execute(data); err != nil {
+			panic(err)
+		}
+		return func() {
+			if err := pl.Execute(data); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// Micro runs the micro suite and returns the report.
+func Micro(cfg Config) MicroReport {
+	rep := MicroReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, c := range microCases(cfg.workers()) {
+		c := c
+		r := testing.Benchmark(func(b *testing.B) {
+			body := c.prep()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body()
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		bytes := 2 * float64(c.m) * float64(c.n) * 8
+		rep.Results = append(rep.Results, MicroResult{
+			Name:        c.name,
+			NsPerOp:     ns,
+			GBps:        bytes / ns, // ns/op and GB/s share the 1e9 factor
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep
+}

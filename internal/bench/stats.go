@@ -8,68 +8,28 @@ package bench
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
+
+	"inplace/internal/stats"
 )
+
+// The order statistics live in internal/stats so the autotuner
+// (internal/tune) can share them without importing the full harness;
+// these forwarders keep the historical bench API.
 
 // Median returns the median of xs (the paper's summary statistic for
 // Figures 3, 6 and 7). It returns NaN for an empty slice.
-func Median(xs []float64) float64 {
-	return Percentile(xs, 50)
-}
+func Median(xs []float64) float64 { return stats.Median(xs) }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics. NaN for empty input.
-func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if p <= 0 {
-		return s[0]
-	}
-	if p >= 100 {
-		return s[len(s)-1]
-	}
-	pos := p / 100 * float64(len(s)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
-}
+func Percentile(xs []float64, p float64) float64 { return stats.Percentile(xs, p) }
 
 // Mean returns the arithmetic mean of xs, NaN for empty input.
-func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
-}
+func Mean(xs []float64) float64 { return stats.Mean(xs) }
 
 // MinMax returns the smallest and largest values of xs.
-func MinMax(xs []float64) (min, max float64) {
-	if len(xs) == 0 {
-		return math.NaN(), math.NaN()
-	}
-	min, max = xs[0], xs[0]
-	for _, x := range xs[1:] {
-		if x < min {
-			min = x
-		}
-		if x > max {
-			max = x
-		}
-	}
-	return min, max
-}
+func MinMax(xs []float64) (min, max float64) { return stats.MinMax(xs) }
 
 // Histogram bins xs into `bins` equal-width bins over [lo, hi] and
 // returns the counts. Values outside the range clamp to the end bins.

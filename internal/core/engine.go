@@ -44,6 +44,28 @@ func (v Variant) String() string {
 	}
 }
 
+// Variants lists every execution strategy, in declaration order. The
+// autotuner iterates this to enumerate its candidate space.
+func Variants() []Variant { return []Variant{Scatter, Gather, CacheAware, Skinny} }
+
+// ParseVariant maps a Variant.String() name back to the variant, for
+// deserializing wisdom tables and CLI flags.
+func ParseVariant(s string) (Variant, bool) {
+	for _, v := range Variants() {
+		if v.String() == s {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// SkinnyViable reports whether the banded skinny formulation (§6.1)
+// applies to plan's shape: the look-ahead bands must be short enough to
+// snapshot and the matrix tall enough to amortize them. When it is
+// false, an engine with Variant Skinny silently runs the cache-aware
+// pipeline, so a tuner should not treat Skinny as a distinct candidate.
+func SkinnyViable(p *cr.Plan) bool { return skinnyViable(p) }
+
 // Opts configures an engine invocation.
 type Opts struct {
 	// Workers is the number of goroutines to use; 0 means GOMAXPROCS.

@@ -1,0 +1,137 @@
+package tune
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable()
+	t.Store(Key{Rows: 1000, Cols: 8, ElemSize: 8, MaxWorkers: 4},
+		Decision{Variant: "skinny", C2R: true, Workers: 2, GBps: 12.5})
+	t.Store(Key{Rows: 512, Cols: 512, ElemSize: 4, MaxWorkers: 1},
+		Decision{Variant: "cache-aware", C2R: false, Workers: 1, BlockW: 32, GBps: 3.25})
+	t.Store(Key{Rows: 96, Cols: 120, ElemSize: 8, MaxWorkers: 8},
+		Decision{Variant: "scatter", C2R: true, Workers: 8})
+	return t
+}
+
+func TestWisdomRoundTrip(t *testing.T) {
+	tbl := sampleTable()
+	var buf bytes.Buffer
+	if err := tbl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Equal(got) {
+		t.Fatalf("round trip changed the table:\nwant %+v\ngot  %+v", tbl, got)
+	}
+	// Deterministic serialization: saving the reloaded table reproduces
+	// the bytes.
+	var buf2 bytes.Buffer
+	if err := got.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("serialization is not deterministic")
+	}
+}
+
+func TestWisdomCorruptInputs(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json at all",
+		"wrong type":      `[1, 2, 3]`,
+		"missing version": `{"entries": []}`,
+		"bad shape":       `{"version":1,"entries":[{"rows":-4,"cols":8,"elem_size":8,"max_workers":1,"variant":"skinny","c2r":true,"workers":1}]}`,
+		"bad variant":     `{"version":1,"entries":[{"rows":4,"cols":8,"elem_size":8,"max_workers":1,"variant":"warp-shuffle","c2r":true,"workers":1}]}`,
+		"bad workers":     `{"version":1,"entries":[{"rows":4,"cols":8,"elem_size":8,"max_workers":1,"variant":"skinny","c2r":true,"workers":0}]}`,
+		"unknown field":   `{"version":1,"entries":[],"blessed":true}`,
+	}
+	for name, raw := range cases {
+		_, err := Load(strings.NewReader(raw))
+		if err == nil {
+			t.Errorf("%s: Load accepted corrupt input", name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not ErrCorrupt", name, err)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a *FormatError", name, err)
+		}
+	}
+}
+
+func TestWisdomUnknownVersionSkipped(t *testing.T) {
+	// A future format version — even one whose entries would not decode
+	// today — must read as an empty table, not an error.
+	raw := `{"version": 99, "entries": [{"novel_field": {"x": 1}}], "machine": "quantum"}`
+	tbl, err := Load(strings.NewReader(raw))
+	if err != nil {
+		t.Fatalf("unknown version must not be fatal: %v", err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("unknown version must load empty, got %d entries", tbl.Len())
+	}
+}
+
+func TestWisdomMerge(t *testing.T) {
+	base := sampleTable()
+	k := Key{Rows: 1000, Cols: 8, ElemSize: 8, MaxWorkers: 4}
+	fresh := NewTable()
+	fresh.Store(k, Decision{Variant: "cache-aware", C2R: false, Workers: 4})
+	fresh.Store(Key{Rows: 7, Cols: 7, ElemSize: 2, MaxWorkers: 2},
+		Decision{Variant: "gather", C2R: true, Workers: 2})
+
+	base.Merge(fresh)
+	if base.Len() != 4 {
+		t.Fatalf("merged table has %d entries, want 4", base.Len())
+	}
+	d, ok := base.Lookup(k)
+	if !ok || d.Variant != "cache-aware" {
+		t.Fatalf("merge must overwrite collisions with incoming entries, got %+v", d)
+	}
+}
+
+func FuzzWisdomRoundTrip(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleTable().Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"version":1,"entries":[]}`))
+	f.Add([]byte(`{"version":42,"entries":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"version":1,"entries":[{"rows":1,"cols":1,"elem_size":1,"max_workers":1,"variant":"gather","c2r":false,"workers":1}]}`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tbl, err := Load(bytes.NewReader(raw))
+		if err != nil {
+			// Every rejection must be the typed corruption error, never a
+			// panic or an untyped failure.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load(%q) returned non-typed error %v", raw, err)
+			}
+			return
+		}
+		// Whatever loads must round-trip exactly.
+		var buf bytes.Buffer
+		if err := tbl.Save(&buf); err != nil {
+			t.Fatalf("Save after Load(%q): %v", raw, err)
+		}
+		again, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reload after Load(%q): %v", raw, err)
+		}
+		if !tbl.Equal(again) {
+			t.Fatalf("round trip changed table for input %q", raw)
+		}
+	})
+}

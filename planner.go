@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"inplace/internal/core"
 	"inplace/internal/parallel"
@@ -28,12 +29,17 @@ type Planner[T any] struct {
 // NewPlanner validates the shape and precomputes an execution plan for
 // transposing rows×cols arrays of T repeatedly. The variadic opts
 // follows TransposeBatch: at most one Options value is honoured.
+//
+// NewPlanner knows the element type, so it consults the process wisdom
+// table (see Tune, LoadWisdom and Options.Tuning): matching wisdom
+// resolves every option left at its zero value to the measured-optimal
+// choice before the static heuristics fill in the rest.
 func NewPlanner[T any](rows, cols int, opts ...Options) (*Planner[T], error) {
 	o := Options{}
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	p, err := NewPlan(rows, cols, o)
+	p, err := newPlanElem(rows, cols, o, int(reflect.TypeFor[T]().Size()))
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +109,43 @@ var plannerCache struct {
 	order []plannerKey
 }
 
+// Cache counters. Read-only outside the package via PlannerCacheStats;
+// atomics because hits are recorded under the read lock.
+var cacheHits, cacheMisses, cacheEvictions atomic.Uint64
+
+// CacheStats is a snapshot of the planner cache counters.
+type CacheStats struct {
+	// Hits counts lookups served by a cached planner.
+	Hits uint64
+	// Misses counts lookups that had to build a planner.
+	Misses uint64
+	// Evictions counts entries dropped under capacity pressure. Flushes
+	// (wisdom mutations) are not evictions.
+	Evictions uint64
+}
+
+// PlannerCacheStats returns a snapshot of the process planner cache
+// counters: how the Transpose/TransposeWith/TransposeBatch fast path is
+// behaving. Counters are cumulative for the process; compute deltas to
+// meter a workload.
+func PlannerCacheStats() CacheStats {
+	return CacheStats{
+		Hits:      cacheHits.Load(),
+		Misses:    cacheMisses.Load(),
+		Evictions: cacheEvictions.Load(),
+	}
+}
+
+// flushPlannerCache drops every cached planner. Called when the wisdom
+// table changes, since cached planners embed decisions resolved against
+// the old wisdom. Flushed entries do not count as evictions.
+func flushPlannerCache() {
+	plannerCache.mu.Lock()
+	plannerCache.m = nil
+	plannerCache.order = nil
+	plannerCache.mu.Unlock()
+}
+
 // plannerFor returns the cached planner for (rows, cols, o, T),
 // building and inserting it on first use.
 func plannerFor[T any](rows, cols int, o Options) (*Planner[T], error) {
@@ -111,8 +154,10 @@ func plannerFor[T any](rows, cols int, o Options) (*Planner[T], error) {
 	v, ok := plannerCache.m[key]
 	plannerCache.mu.RUnlock()
 	if ok {
+		cacheHits.Add(1)
 		return v.(*Planner[T]), nil
 	}
+	cacheMisses.Add(1)
 	pl, err := NewPlanner[T](rows, cols, o)
 	if err != nil {
 		return nil, err
@@ -130,6 +175,7 @@ func plannerFor[T any](rows, cols int, o Options) (*Planner[T], error) {
 	for len(plannerCache.order) >= plannerCacheCap {
 		delete(plannerCache.m, plannerCache.order[0])
 		plannerCache.order = plannerCache.order[1:]
+		cacheEvictions.Add(1)
 	}
 	plannerCache.m[key] = pl
 	plannerCache.order = append(plannerCache.order, key)

@@ -1,0 +1,136 @@
+package inplace
+
+import "testing"
+
+// refTranspose is a minimal reference for the cache tests (the external
+// test package has its own; this one avoids an import cycle).
+func refTranspose(data []uint64, rows, cols int) []uint64 {
+	out := make([]uint64, len(data))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out[j*rows+i] = data[i*cols+j]
+		}
+	}
+	return out
+}
+
+func fillRandomish(data []uint64) {
+	for i := range data {
+		data[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+}
+
+// TestPlannerCacheEvictionAndStats fills the bounded planner cache past
+// capacity and checks that (a) the FIFO eviction drops the oldest
+// entry, (b) an evicted entry is transparently rebuilt and still
+// transposes correctly, and (c) the read-only hit/miss/eviction
+// counters account for every step exactly.
+func TestPlannerCacheEvictionAndStats(t *testing.T) {
+	flushPlannerCache() // deterministic starting point
+	s0 := PlannerCacheStats()
+	o := Options{Workers: 1}
+
+	const aRows, aCols = 37, 29
+	a := make([]uint64, aRows*aCols)
+	fillRandomish(a)
+	want := refTranspose(a, aRows, aCols)
+
+	// First use: a miss that builds and caches the planner.
+	if err := TransposeWith(a, aRows, aCols, o); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("first transpose incorrect at %d", i)
+		}
+	}
+	if s := PlannerCacheStats(); s.Misses-s0.Misses != 1 || s.Hits != s0.Hits {
+		t.Fatalf("after first use: %+v (baseline %+v), want exactly one miss", s, s0)
+	}
+
+	// Transpose back with the swapped shape — a distinct cache key, so a
+	// second miss — then repeat the original shape for a pure hit.
+	if err := TransposeWith(a, aCols, aRows, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := TransposeWith(a, aRows, aCols, o); err != nil {
+		t.Fatal(err)
+	}
+	if s := PlannerCacheStats(); s.Hits-s0.Hits != 1 || s.Misses-s0.Misses != 2 {
+		t.Fatalf("after hit: %+v (baseline %+v), want hits+1 misses+2", s, s0)
+	}
+
+	// Flood the cache with plannerCacheCap distinct shapes: the two
+	// entries above are the oldest and must both be evicted, with the
+	// eviction counter advancing once per drop beyond capacity.
+	for i := 0; i < plannerCacheCap; i++ {
+		buf := make([]uint64, (i+3)*2)
+		if err := TransposeWith(buf, i+3, 2, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := PlannerCacheStats()
+	if got := s.Misses - s0.Misses; got != 2+plannerCacheCap {
+		t.Fatalf("flood misses = %d, want %d", got, 2+plannerCacheCap)
+	}
+	// 2 + cap insertions into a cap-bounded FIFO ⇒ exactly 2 evictions.
+	if got := s.Evictions - s0.Evictions; got != 2 {
+		t.Fatalf("flood evictions = %d, want 2", got)
+	}
+
+	// The evicted entry rebuilds transparently and still transposes
+	// correctly (the data buffer currently holds the transposed array, so
+	// transpose back and compare with the original).
+	fillRandomish(a)
+	want = refTranspose(a, aRows, aCols)
+	if err := TransposeWith(a, aRows, aCols, o); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("rebuilt-after-eviction transpose incorrect at %d", i)
+		}
+	}
+	s = PlannerCacheStats()
+	if got := s.Misses - s0.Misses; got != 3+plannerCacheCap {
+		t.Fatalf("post-eviction rebuild misses = %d, want %d (a rebuild, not a hit)", got, 3+plannerCacheCap)
+	}
+	if got := s.Evictions - s0.Evictions; got != 3 {
+		t.Fatalf("post-eviction rebuild evictions = %d, want 3", got)
+	}
+
+	// A freshly inserted shape still hits.
+	if err := TransposeWith(a, aRows, aCols, o); err != nil {
+		t.Fatal(err)
+	}
+	if got := PlannerCacheStats().Hits - s0.Hits; got != 2 {
+		t.Fatalf("final hits = %d, want 2", got)
+	}
+}
+
+// TestPlannerCacheFlushOnWisdomChange pins the invariant that makes
+// wisdom safe: mutating the wisdom table drops cached planners, so a
+// stale pre-wisdom plan can never serve a post-wisdom call.
+func TestPlannerCacheFlushOnWisdomChange(t *testing.T) {
+	flushPlannerCache()
+	defer ClearWisdom()
+	ClearWisdom()
+	o := Options{Workers: 1}
+
+	data := make([]uint64, 48*64)
+	if err := TransposeWith(data, 48, 64, o); err != nil {
+		t.Fatal(err)
+	}
+	s0 := PlannerCacheStats()
+	if _, err := Tune[uint64](48, 64, TuneConfig{Workers: 1, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The same call misses again: the cache was flushed by the wisdom
+	// update and the rebuilt planner reflects the tuned decision.
+	if err := TransposeWith(data, 64, 48, o); err != nil {
+		t.Fatal(err)
+	}
+	if s := PlannerCacheStats(); s.Misses == s0.Misses {
+		t.Error("wisdom mutation did not flush the planner cache")
+	}
+}

@@ -1,0 +1,192 @@
+package inplace_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inplace"
+	"inplace/internal/tune"
+)
+
+func TestTuneRecordsWisdomAndPlannerConsultsIt(t *testing.T) {
+	defer inplace.ClearWisdom()
+	inplace.ClearWisdom()
+
+	res, err := inplace.Tune[uint64](96, 120, inplace.TuneConfig{Workers: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inplace.WisdomLen() != 1 {
+		t.Fatalf("WisdomLen = %d after one Tune, want 1", inplace.WisdomLen())
+	}
+
+	pl, err := inplace.NewPlanner[uint64](96, 120, inplace.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Plan().Method(); got != res.Method {
+		t.Errorf("tuned planner method = %v, want the tuned decision %v", got, res.Method)
+	}
+	if got := pl.Plan().UsesC2R(); got != (res.Direction == inplace.ForceC2R) {
+		t.Errorf("tuned planner C2R = %v, direction decision was %v", got, res.Direction)
+	}
+
+	// The tuned plan must still compute the correct transposition.
+	data := make([]uint64, 96*120)
+	for i := range data {
+		data[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	want := transposeRef(data, 96, 120)
+	if err := pl.Execute(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("tuned plan transposed incorrectly at %d", i)
+		}
+	}
+
+	// WisdomOff must reproduce the untuned heuristics.
+	off, err := inplace.NewPlanner[uint64](96, 120, inplace.Options{Workers: 1, Tuning: inplace.WisdomOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Plan().Method() != inplace.CacheAware || !off.Plan().UsesC2R() {
+		t.Errorf("WisdomOff plan = %v, want the heuristic cache-aware C2R", off.Plan())
+	}
+}
+
+func TestWisdomKeyedByElementSize(t *testing.T) {
+	defer inplace.ClearWisdom()
+	inplace.ClearWisdom()
+
+	if _, err := inplace.Tune[uint32](64, 96, inplace.TuneConfig{Workers: 1, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	// A different element size must not match the recorded decision.
+	if _, err := inplace.NewPlanner[uint64](64, 96, inplace.Options{Workers: 1, Tuning: inplace.WisdomRequired}); !errors.Is(err, inplace.ErrNoWisdom) {
+		t.Errorf("uint64 planner matched uint32 wisdom (err=%v)", err)
+	}
+	if _, err := inplace.NewPlanner[uint32](64, 96, inplace.Options{Workers: 1, Tuning: inplace.WisdomRequired}); err != nil {
+		t.Errorf("uint32 planner missed its own wisdom: %v", err)
+	}
+	// float32 shares uint32's size and therefore its wisdom.
+	if _, err := inplace.NewPlanner[float32](64, 96, inplace.Options{Workers: 1, Tuning: inplace.WisdomRequired}); err != nil {
+		t.Errorf("float32 planner missed same-size wisdom: %v", err)
+	}
+}
+
+func TestWisdomRequired(t *testing.T) {
+	defer inplace.ClearWisdom()
+	inplace.ClearWisdom()
+
+	_, err := inplace.NewPlanner[uint64](33, 44, inplace.Options{Tuning: inplace.WisdomRequired})
+	if !errors.Is(err, inplace.ErrNoWisdom) {
+		t.Fatalf("WisdomRequired without wisdom: err = %v, want ErrNoWisdom", err)
+	}
+	if _, err := inplace.Tune[uint64](33, 44, inplace.TuneConfig{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inplace.NewPlanner[uint64](33, 44, inplace.Options{Tuning: inplace.WisdomRequired}); err != nil {
+		t.Fatalf("WisdomRequired with wisdom: %v", err)
+	}
+}
+
+func TestExplicitOptionsWinOverWisdom(t *testing.T) {
+	defer inplace.ClearWisdom()
+	inplace.ClearWisdom()
+
+	if _, err := inplace.Tune[uint64](120, 96, inplace.TuneConfig{Workers: 1, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := inplace.NewPlanner[uint64](120, 96, inplace.Options{
+		Workers: 1, Method: inplace.Algorithm1, Direction: inplace.ForceR2C,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Plan().Method() != inplace.Algorithm1 {
+		t.Errorf("explicit Method overridden by wisdom: got %v", pl.Plan().Method())
+	}
+	if pl.Plan().UsesC2R() {
+		t.Error("explicit Direction overridden by wisdom")
+	}
+}
+
+func TestSaveLoadWisdomRoundTrip(t *testing.T) {
+	defer inplace.ClearWisdom()
+	inplace.ClearWisdom()
+
+	if _, err := inplace.Tune[uint64](64, 80, inplace.TuneConfig{Workers: 1, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inplace.Tune[uint64](500, 5, inplace.TuneConfig{Workers: 1, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := inplace.NewPlanner[uint64](64, 80, inplace.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wisdom.json")
+	if err := inplace.SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+
+	inplace.ClearWisdom()
+	if inplace.WisdomLen() != 0 {
+		t.Fatal("ClearWisdom left entries behind")
+	}
+	if err := inplace.LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	if inplace.WisdomLen() != 2 {
+		t.Fatalf("WisdomLen = %d after reload, want 2", inplace.WisdomLen())
+	}
+	after, err := inplace.NewPlanner[uint64](64, 80, inplace.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Plan().Method() != after.Plan().Method() || before.Plan().UsesC2R() != after.Plan().UsesC2R() {
+		t.Errorf("reloaded wisdom resolves differently: %v vs %v", before.Plan(), after.Plan())
+	}
+
+	// Save → load → save must be byte-identical (deterministic format).
+	path2 := filepath.Join(dir, "wisdom2.json")
+	if err := inplace.SaveWisdom(path2); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if string(a) != string(b) {
+		t.Error("wisdom serialization is not deterministic across a round trip")
+	}
+}
+
+func TestLoadWisdomCorruptAndVersionSkew(t *testing.T) {
+	defer inplace.ClearWisdom()
+	inplace.ClearWisdom()
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("definitely { not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inplace.LoadWisdom(bad); !errors.Is(err, tune.ErrCorrupt) {
+		t.Errorf("corrupt wisdom load: err = %v, want ErrCorrupt", err)
+	}
+
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"version": 99, "entries": [{"weird": 1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inplace.LoadWisdom(future); err != nil {
+		t.Errorf("unknown-version wisdom must be skipped, not fatal: %v", err)
+	}
+	if inplace.WisdomLen() != 0 {
+		t.Errorf("unknown-version wisdom merged %d entries, want 0", inplace.WisdomLen())
+	}
+}
