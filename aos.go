@@ -1,7 +1,5 @@
 package inplace
 
-import "fmt"
-
 // Array-of-Structures ↔ Structure-of-Arrays conversion (paper §6.1).
 //
 // An Array of Structures holding count structures of fields words each is
@@ -14,17 +12,21 @@ import "fmt"
 // measured this at a median 34.3 GB/s on the K20c (Figure 7).
 
 // aosArgs validates the shared AOSToSOA/SOAToAOS contract — positive
-// shape, matching buffer length — and resolves the variadic options.
+// shape, overflow-free product, matching buffer length — and resolves
+// the variadic options.
+//
+//xpose:hotpath
 func aosArgs[T any](data []T, count, fields int, opts []Options) (Options, error) {
 	o := Options{}
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	if count <= 0 || fields <= 0 {
-		return o, fmt.Errorf("%w (got count=%d fields=%d)", ErrShape, count, fields)
+	size, err := checkShape(count, fields)
+	if err != nil {
+		return o, err
 	}
-	if len(data) != count*fields {
-		return o, fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*fields)
+	if len(data) != size {
+		return o, lengthErr(len(data), size)
 	}
 	return o, nil
 }
@@ -32,6 +34,8 @@ func aosArgs[T any](data []T, count, fields int, opts []Options) (Options, error
 // AOSToSOA converts an Array of Structures to a Structure of Arrays in
 // place: data holds count structures of fields elements each; afterwards
 // it holds fields arrays of count elements each.
+//
+//xpose:hotpath
 func AOSToSOA[T any](data []T, count, fields int, opts ...Options) error {
 	o, err := aosArgs(data, count, fields, opts)
 	if err != nil {
@@ -43,6 +47,8 @@ func AOSToSOA[T any](data []T, count, fields int, opts ...Options) error {
 // SOAToAOS converts a Structure of Arrays back to an Array of
 // Structures in place: data holds fields arrays of count elements each;
 // afterwards it holds count structures of fields elements each.
+//
+//xpose:hotpath
 func SOAToAOS[T any](data []T, count, fields int, opts ...Options) error {
 	o, err := aosArgs(data, count, fields, opts)
 	if err != nil {

@@ -3,6 +3,7 @@ package inplace
 import (
 	"fmt"
 
+	"inplace/internal/mathutil"
 	"inplace/internal/parallel"
 )
 
@@ -38,9 +39,15 @@ func TransposeBatch[T any](data []T, count, rows, cols int, opts ...Options) err
 	if err != nil {
 		return err
 	}
-	stride := rows * cols
-	if len(data) != count*stride {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), count*stride)
+	// plannerFor has already proven rows*cols fits in int; the batch
+	// length count*stride needs its own overflow guard.
+	stride := pl.p.size
+	total, ok := mathutil.CheckedMul(count, stride)
+	if !ok {
+		return fmt.Errorf("%w (got count=%d of %dx%d)", ErrOverflow, count, rows, cols)
+	}
+	if len(data) != total {
+		return lengthErr(len(data), total)
 	}
 	workers := parallel.Workers(o.Workers)
 	run := func(_, lo, hi int) {

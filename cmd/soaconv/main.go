@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"inplace"
@@ -35,6 +36,9 @@ func main() {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
+	}
+	if *count > math.MaxInt / *fields || *count**fields > math.MaxInt / *elem {
+		fatal(fmt.Errorf("count*fields*elem overflows (count=%d fields=%d elem=%d)", *count, *fields, *elem))
 	}
 	n := *count * *fields
 	if len(raw) != n**elem {

@@ -1,0 +1,118 @@
+// Command xposelint runs the repository's static-analysis suite (see
+// internal/analyzers) over the given packages and exits non-zero when
+// any unsuppressed finding remains.
+//
+// Usage:
+//
+//	go run ./cmd/xposelint [flags] [patterns]
+//
+// Patterns are directories, optionally ending in /... for a whole tree;
+// the default is ./... from the module root. Flags:
+//
+//	-list  print the analyzers and exit
+//	-why   also print every suppressed finding with its reason
+//	-c n   run only the named analyzer (repeatable, comma-separated)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"inplace/internal/analyzers"
+	"inplace/internal/analyzers/lintkit"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	why := flag.Bool("why", false, "print suppressed findings with their reasons")
+	only := flag.String("c", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analyzers.All()
+	if *only != "" {
+		suite = suite[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analyzers.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "xposelint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xposelint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lintkit.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xposelint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xposelint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lintkit.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xposelint: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *why {
+				fmt.Printf("%s\n\tallowed: %s\n", f, f.Reason)
+			}
+			continue
+		}
+		bad++
+		fmt.Println(f)
+	}
+	if suppressed > 0 {
+		fmt.Printf("xposelint: %d finding(s) suppressed by //xpose:allow (run with -why to list)\n", suppressed)
+	}
+	if bad > 0 {
+		fmt.Printf("xposelint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the first go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -111,4 +111,23 @@
 // TuneConfig.Fast, a second or so at default budgets) — tune shapes
 // that will be transposed many times, or batch-tune offline with
 // cmd/xposetune and ship the file.
+//
+// # Static analysis
+//
+// The hot-path guarantees above — zero allocation in steady state,
+// overflow-checked index algebra, strength-reduced division — are
+// enforced at build time by the xposelint suite (internal/analyzers):
+//
+//	go run ./cmd/xposelint ./...
+//
+// Functions on the per-execution path carry an //xpose:hotpath
+// directive in their doc comment, which subjects them to the strict
+// checks (no append/make/map/fmt/reflect, no raw % or / by
+// plan-constant divisors); every dimension product feeding a subscript,
+// make, or len comparison must be dominated by a
+// mathutil.CheckedMul-style guard. Intentional exceptions are annotated
+// in place with "//xpose:allow <analyzer> -- reason"; the reason is
+// mandatory and unused directives are themselves flagged. `make lint`
+// runs the suite and is part of the `make ci` gate. See
+// internal/analyzers for the full contract.
 package inplace

@@ -75,6 +75,7 @@ func rotateCW(img []byte, w, h int) {
 // synthesize draws a test pattern: concentric rings plus a bright corner
 // marker so orientation errors are obvious.
 func synthesize(w, h int) []byte {
+	//xpose:allow indexoverflow -- demo image dimensions are small constants
 	img := make([]byte, w*h)
 	cx, cy := float64(w)/2, float64(h)/2
 	for y := 0; y < h; y++ {

@@ -31,6 +31,7 @@ func main() {
 	// NewPlan amortizes the gcd/modular-inverse/reciprocal setup when the
 	// same shape is transposed repeatedly.
 	rows, cols := 1500, 2300
+	//xpose:allow indexoverflow -- demo dimensions are small constants
 	big := make([]float64, rows*cols)
 	for i := range big {
 		big[i] = float64(i)

@@ -6,6 +6,7 @@ import (
 
 	"inplace/internal/core"
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 )
 
 // Method selects the engine used to realize the transposition. All
@@ -142,6 +143,7 @@ const (
 // transposing one shape repeatedly.
 type Plan struct {
 	rows, cols int
+	size       int // rows*cols, proven not to overflow int at plan time
 	useC2R     bool
 	plan       *cr.Plan // C2R: (rows×cols); R2C: (cols×rows)
 	variant    core.Variant
@@ -154,6 +156,39 @@ var ErrShape = errors.New("inplace: rows and cols must be positive")
 
 // ErrLength reports a data slice whose length does not match the plan.
 var ErrLength = errors.New("inplace: data length does not match rows*cols")
+
+// ErrOverflow reports dimensions whose product rows*cols does not fit in
+// int: no slice can hold such an array, and the index algebra of the
+// decomposition would wrap. Every public validation path guards the
+// product before any index arithmetic trusts it.
+var ErrOverflow = errors.New("inplace: rows*cols overflows int")
+
+// shapeErr, overflowErr and lengthErr build validation errors out of
+// line, keeping the fmt machinery off the annotated hot entry points.
+func shapeErr(rows, cols int) error {
+	return fmt.Errorf("%w (got %dx%d)", ErrShape, rows, cols)
+}
+
+func overflowErr(rows, cols int) error {
+	return fmt.Errorf("%w (got %dx%d)", ErrOverflow, rows, cols)
+}
+
+func lengthErr(got, want int) error {
+	return fmt.Errorf("%w (len %d, want %d)", ErrLength, got, want)
+}
+
+// checkShape validates a rows×cols shape and returns the element count:
+// both dimensions positive and the product representable in int.
+func checkShape(rows, cols int) (size int, err error) {
+	if rows <= 0 || cols <= 0 {
+		return 0, shapeErr(rows, cols)
+	}
+	size, ok := mathutil.CheckedMul(rows, cols)
+	if !ok {
+		return 0, overflowErr(rows, cols)
+	}
+	return size, nil
+}
 
 // ErrNoWisdom reports a plan requested with WisdomRequired for a shape
 // the process wisdom table has no entry for.
@@ -174,8 +209,9 @@ func NewPlan(rows, cols int, o Options) (*Plan, error) {
 // the wisdom table eligible to resolve every option the caller left at
 // its zero value. elemSize 0 (the untyped NewPlan path) skips wisdom.
 func newPlanElem(rows, cols int, o Options, elemSize int) (*Plan, error) {
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("%w (got %dx%d)", ErrShape, rows, cols)
+	size, err := checkShape(rows, cols)
+	if err != nil {
+		return nil, err
 	}
 	if o.Order == ColMajor {
 		// Theorem 2: a column-major rows×cols buffer is bit-identical to
@@ -191,7 +227,7 @@ func newPlanElem(rows, cols int, o Options, elemSize int) (*Plan, error) {
 			return nil, fmt.Errorf("%w (%dx%d, %d-byte elements)", ErrNoWisdom, rows, cols, elemSize)
 		}
 	}
-	p := &Plan{rows: rows, cols: cols}
+	p := &Plan{rows: rows, cols: cols, size: size}
 
 	switch o.Direction {
 	case ForceC2R:
@@ -274,9 +310,11 @@ func (p *Plan) String() string {
 // Do transposes data according to the plan: data must hold rows*cols
 // elements; afterwards it holds the transposed array (cols×rows in the
 // original order convention).
+//
+//xpose:hotpath
 func Do[T any](p *Plan, data []T) error {
-	if len(data) != p.rows*p.cols {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), p.rows*p.cols)
+	if len(data) != p.size {
+		return lengthErr(len(data), p.size)
 	}
 	if p.useC2R {
 		core.C2R(data, p.plan, p.opts)
@@ -298,6 +336,8 @@ func Transpose[T any](data []T, rows, cols int) error {
 // so repeated transposes of one shape reuse the precomputed schedule and
 // scratch arena; callers wanting explicit control over that lifetime
 // should hold a Planner instead.
+//
+//xpose:hotpath
 func TransposeWith[T any](data []T, rows, cols int, o Options) error {
 	pl, err := plannerFor[T](rows, cols, o)
 	if err != nil {
@@ -312,11 +352,12 @@ func TransposeWith[T any](data []T, rows, cols int, o Options) error {
 // primitive semantics (e.g. composing with other permutations); most
 // callers should use Transpose.
 func C2R[T any](data []T, m, n int, o Options) error {
-	if m <= 0 || n <= 0 {
-		return fmt.Errorf("%w (got %dx%d)", ErrShape, m, n)
+	size, err := checkShape(m, n)
+	if err != nil {
+		return err
 	}
-	if len(data) != m*n {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), m*n)
+	if len(data) != size {
+		return lengthErr(len(data), size)
 	}
 	core.C2R(data, cr.NewPlan(m, n), core.Opts{Workers: o.Workers, Variant: methodVariant(o.Method), BlockW: o.BlockWidth})
 	return nil
@@ -325,11 +366,12 @@ func C2R[T any](data []T, m, n int, o Options) error {
 // R2C applies the inverse permutation of C2R: a row-major n×m buffer
 // becomes the row-major m×n transpose.
 func R2C[T any](data []T, m, n int, o Options) error {
-	if m <= 0 || n <= 0 {
-		return fmt.Errorf("%w (got %dx%d)", ErrShape, m, n)
+	size, err := checkShape(m, n)
+	if err != nil {
+		return err
 	}
-	if len(data) != m*n {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), m*n)
+	if len(data) != size {
+		return lengthErr(len(data), size)
 	}
 	core.R2C(data, cr.NewPlan(m, n), core.Opts{Workers: o.Workers, Variant: methodVariant(o.Method), BlockW: o.BlockWidth})
 	return nil

@@ -1,0 +1,23 @@
+package analyzers
+
+import "inplace/internal/analyzers/lintkit"
+
+// All returns the xposelint suite in reporting order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		HotpathAlloc,
+		IndexOverflow,
+		ModReduce,
+		PoolHygiene,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *lintkit.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

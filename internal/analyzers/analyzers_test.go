@@ -1,0 +1,88 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"inplace/internal/analyzers"
+	"inplace/internal/analyzers/lintkit"
+	"inplace/internal/analyzers/lintkit/checktest"
+)
+
+// TestGolden runs the whole suite over each golden package and matches
+// the diagnostics against the // want comments, both directions.
+func TestGolden(t *testing.T) {
+	checktest.Run(t, "testdata", analyzers.All(),
+		"hotpathalloc",
+		"indexoverflow",
+		"modreduce",
+		"poolhygiene",
+		"suppress",
+	)
+}
+
+// TestSuppressionMetadata asserts the //xpose:allow bookkeeping: the
+// well-formed directive in the suppress golden yields exactly one
+// suppressed finding carrying its reason.
+func TestSuppressionMetadata(t *testing.T) {
+	findings := checktest.Findings(t, "testdata", analyzers.All(), "suppress")
+	var suppressed []lintkit.Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed = append(suppressed, f)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1\n%s", len(suppressed), checktest.Describe(findings))
+	}
+	if got := suppressed[0].Reason; got != "caller proves rows*cols fits at plan time" {
+		t.Errorf("suppression reason = %q", got)
+	}
+	if suppressed[0].Analyzer != "indexoverflow" {
+		t.Errorf("suppressed analyzer = %q, want indexoverflow", suppressed[0].Analyzer)
+	}
+}
+
+// TestByName covers the registry used by the -c flag.
+func TestByName(t *testing.T) {
+	for _, a := range analyzers.All() {
+		if analyzers.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if analyzers.ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) should be nil")
+	}
+}
+
+// TestRepoTreeClean is the suite run the ci target performs: the
+// repository's own packages must produce no unsuppressed findings, and
+// every suppression must carry a reason.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := lintkit.NewModuleLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	findings, err := lintkit.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			if f.Reason == "" {
+				t.Errorf("suppression without reason: %s", f)
+			}
+			continue
+		}
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}

@@ -1,0 +1,197 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// hotpathDirective is the annotation that marks a function or statement
+// as part of the transpose hot path, opting it into the strict
+// hotpathalloc and modreduce checks. See the package documentation for
+// the contract.
+const hotpathDirective = "//xpose:hotpath"
+
+// hotRegion is one annotated subtree together with the function
+// declaration that lexically contains it (for messages).
+type hotRegion struct {
+	node ast.Node
+	fn   *ast.FuncDecl
+}
+
+// hotRegions collects every //xpose:hotpath-annotated region in the
+// pass: whole functions whose doc comment carries the directive, and
+// individual statements directly preceded by a directive comment line.
+func hotRegions(pass *lintkit.Pass) []hotRegion {
+	var regions []hotRegion
+	for _, file := range pass.Files {
+		// Lines carrying a standalone directive comment; a statement
+		// starting on the next line is an annotated block.
+		stmtLines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == hotpathDirective {
+					stmtLines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasDirective(fn.Doc) {
+				regions = append(regions, hotRegion{node: fn.Body, fn: fn})
+				continue
+			}
+			// Statement-level regions inside an otherwise cold function.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.BlockStmt:
+					line := pass.Fset.Position(n.Pos()).Line
+					if stmtLines[line-1] {
+						regions = append(regions, hotRegion{node: n, fn: fn})
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	return regions
+}
+
+// hasDirective reports whether a doc comment group contains the
+// hotpath directive on a line of its own.
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// funcName names a function declaration for diagnostics, including the
+// receiver type for methods.
+func funcName(fn *ast.FuncDecl) string {
+	if fn == nil {
+		return "block"
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := fn.Recv.List[0].Type
+		for {
+			switch u := t.(type) {
+			case *ast.StarExpr:
+				t = u.X
+				continue
+			case *ast.IndexExpr:
+				t = u.X
+				continue
+			case *ast.IndexListExpr:
+				t = u.X
+				continue
+			}
+			break
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+// loopVar records one for/range-bound variable and the loop that binds
+// it.
+type loopVar struct {
+	obj  types.Object
+	loop ast.Node
+}
+
+// loopVarsIn collects every loop-bound variable beneath root: range
+// key/value idents and variables defined in a for statement's init.
+func loopVarsIn(info *types.Info, root ast.Node) []loopVar {
+	var out []loopVar
+	bind := func(e ast.Expr, loop ast.Node) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out = append(out, loopVar{obj: obj, loop: loop})
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				bind(s.Key, s)
+				bind(s.Value, s)
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					bind(lhs, s)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedLoopVars returns the loop variables from vars that the
+// function literal closes over: the literal sits inside the binding
+// loop, and its body references the variable.
+func capturedLoopVars(info *types.Info, lit *ast.FuncLit, vars []loopVar) []*ast.Ident {
+	var hits []*ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, v := range vars {
+			if v.obj == obj && within(lit, v.loop) {
+				hits = append(hits, id)
+				return true
+			}
+		}
+		return true
+	})
+	return hits
+}
+
+// within reports whether node n lies inside the source range of outer.
+func within(n, outer ast.Node) bool {
+	return outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+// pkgPathOf returns the import path of the package an identifier's
+// object belongs to, or "".
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isPkgFunc reports whether the call expression invokes the package
+// function pkgPath.name (via its package qualifier).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && pkgPathOf(obj) == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,53 @@
+// Package analyzers implements xposelint, the static-analysis suite
+// that enforces this repository's hot-path invariants at build time.
+// The transpose kernels make three promises the compiler cannot check:
+// a warmed plan executes without heap allocation, every dimension
+// product in index algebra is proven to fit in int before it addresses
+// memory, and no hot loop pays for hardware division by a plan-constant
+// divisor. Each promise has an analyzer:
+//
+//	hotpathalloc   no allocating constructs in //xpose:hotpath regions
+//	indexoverflow  overflow guards dominate r*cols+c index products
+//	modreduce      hot-loop % and / by plan constants use mathutil.Divider
+//	poolhygiene    sync.Pool resets, no lock copies, no loop-var capture
+//	               in work submitted to internal/parallel
+//
+// Run the suite with
+//
+//	go run ./cmd/xposelint ./...
+//
+// or `make lint`, which the ci target includes. The process exits
+// non-zero if any unsuppressed finding remains.
+//
+// # The //xpose:hotpath contract
+//
+// A function whose doc comment contains the directive line
+//
+//	//xpose:hotpath
+//
+// declares itself part of the per-execution hot path: it may run once
+// per element, per pass, or per Execute, and therefore submits to the
+// strict checks (hotpathalloc, modreduce). A directive comment placed
+// on the line directly above a statement marks just that statement's
+// subtree, for cold functions with one hot loop. Everything the
+// directive does not cover is cold code, where clarity beats cycles and
+// fmt.Errorf is welcome.
+//
+// Annotating a function is a statement about its call frequency, not
+// its correctness: annotate kernels, per-pass drivers and validation
+// shims on the Execute path; do not annotate planning, tuning or
+// one-time setup.
+//
+// # Suppressions
+//
+// A finding that is intentional — a cold path the analyzer cannot prove
+// cold, a product bounded by construction — is suppressed in place:
+//
+//	//xpose:allow indexoverflow -- dims are compile-time constants
+//
+// on the flagged line or the line above it. The reason after the double
+// dash is mandatory; a directive without one, and a directive that
+// suppresses nothing, are themselves reported. `xposelint -why` lists
+// every suppression with its reason, so the full exception budget of
+// the tree is reviewable in one place.
+package analyzers

@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// HotpathAlloc reports operations that allocate, or may allocate, inside
+// //xpose:hotpath regions. The transpose kernels promise zero
+// allocations per execution once a plan's arena is warm (see the arena
+// and planner packages); the compiler will not enforce that promise, so
+// this analyzer does. Flagged inside hot regions:
+//
+//   - append and make: direct allocations. Hot code draws scratch from
+//     the plan's arena (frame.elems and friends) instead.
+//   - map reads, writes, deletes and range: map access hashes and may
+//     grow; hot structures are slices indexed by precomputed integers.
+//   - conversions of concrete values to interface types: the value is
+//     boxed. This includes calls into fmt and reflect, which box every
+//     argument; error construction belongs in cold helpers (see
+//     shapeErr and friends in the root package).
+//   - closures capturing a loop variable: the capture forces the
+//     variable (and usually the closure) to escape on every iteration.
+var HotpathAlloc = &lintkit.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //xpose:hotpath regions",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *lintkit.Pass) error {
+	for _, region := range hotRegions(pass) {
+		checkHotAlloc(pass, region)
+	}
+	return nil
+}
+
+func checkHotAlloc(pass *lintkit.Pass, region hotRegion) {
+	info := pass.TypesInfo
+	where := funcName(region.fn)
+	vars := loopVarsIn(info, region.node)
+	ast.Inspect(region.node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, e, where)
+		case *ast.IndexExpr:
+			if t := info.Types[e.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(e.Pos(), "map access in hotpath function %s; use a precomputed slice", where)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[e.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(e.Pos(), "range over map in hotpath function %s; use a precomputed slice", where)
+				}
+			}
+		case *ast.FuncLit:
+			for _, id := range capturedLoopVars(info, e, vars) {
+				pass.Reportf(e.Pos(), "closure in hotpath function %s captures loop variable %s; rebind it outside the closure", where, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags builtin allocators, fmt/reflect calls, and
+// explicit conversions to interface types.
+func checkHotCall(pass *lintkit.Pass, call *ast.CallExpr, where string) {
+	info := pass.TypesInfo
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append in hotpath function %s; grow scratch in the plan arena instead", where)
+			case "make":
+				pass.Reportf(call.Pos(), "make in hotpath function %s; allocate at plan time, not per execution", where)
+			case "delete":
+				pass.Reportf(call.Pos(), "map delete in hotpath function %s; use a precomputed slice", where)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt":
+					pass.Reportf(call.Pos(), "fmt.%s in hotpath function %s; build errors in a cold helper", fun.Sel.Name, where)
+					return
+				case "reflect":
+					pass.Reportf(call.Pos(), "reflect.%s in hotpath function %s; resolve reflection at plan time", fun.Sel.Name, where)
+					return
+				}
+			}
+		}
+	}
+	// Explicit conversion T(x) where T is an interface and x is not:
+	// the operand is boxed.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			if at := info.Types[call.Args[0]].Type; at != nil && !types.IsInterface(at) {
+				pass.Reportf(call.Pos(), "conversion to interface in hotpath function %s boxes its operand", where)
+			}
+		}
+	}
+}

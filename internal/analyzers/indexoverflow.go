@@ -1,0 +1,267 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// IndexOverflow reports r*cols+c-shaped integer products in index
+// algebra that no overflow guard dominates. The decomposition's index
+// maps are built from products of the matrix dimensions; on 64-bit
+// targets rows*cols silently wraps for adversarial shapes unless every
+// public validation path proves the product fits in int first (the
+// root package's checkShape, mathutil.CheckedMul, or an explicit
+// math.MaxInt bound).
+//
+// A product is flagged when it appears in one of the contexts where a
+// wrapped value corrupts memory addressing —
+//
+//   - a subscript or slice bound (exported functions only: unexported
+//     kernels run behind validated plans),
+//   - a make() length or capacity,
+//   - a comparison against len(...) (the classic
+//     `len(data) != rows*cols` validation that itself overflows),
+//
+// — and no guard appears earlier in the same function. A guard is a
+// call to mathutil.CheckedMul, an if condition mentioning a math.MaxInt
+// constant, or a call to a same-package function whose body contains
+// either (e.g. perm.checkStridedBounds).
+var IndexOverflow = &lintkit.Analyzer{
+	Name: "indexoverflow",
+	Doc:  "require overflow guards on dimension products in index algebra",
+	Run:  runIndexOverflow,
+}
+
+func runIndexOverflow(pass *lintkit.Pass) error {
+	guards := guardFuncs(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkOverflow(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// guardFuncs returns the package-level functions whose bodies establish
+// an overflow bound themselves; calling one counts as a guard at the
+// call site.
+func guardFuncs(pass *lintkit.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if bodyHasGuard(pass.TypesInfo, fn.Body) {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bodyHasGuard reports whether the node contains a CheckedMul call or a
+// math.MaxInt* reference.
+func bodyHasGuard(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isCheckedMul(info, e) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isMaxIntRef(info, e.Sel) {
+				found = true
+			}
+		case *ast.Ident:
+			if isMaxIntRef(info, e) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCheckedMul(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "CheckedMul" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "mathutil"
+}
+
+func isMaxIntRef(info *types.Info, id *ast.Ident) bool {
+	if !strings.HasPrefix(id.Name, "MaxInt") {
+		return false
+	}
+	obj := info.Uses[id]
+	return obj != nil && pkgPathOf(obj) == "math"
+}
+
+// checkOverflow walks one function, tracking guard positions, and flags
+// unguarded products in index-algebra contexts.
+func checkOverflow(pass *lintkit.Pass, fn *ast.FuncDecl, guards map[types.Object]bool) {
+	info := pass.TypesInfo
+	exported := fn.Name.IsExported()
+
+	// Positions after which the function is considered guarded.
+	var guardPos []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isCheckedMul(info, e) {
+				guardPos = append(guardPos, e.Pos())
+			} else if id := calleeIdent(e); id != nil && guards[info.Uses[id]] {
+				guardPos = append(guardPos, e.Pos())
+			}
+		case *ast.IfStmt:
+			if bodyHasGuard(info, e.Cond) {
+				guardPos = append(guardPos, e.Pos())
+			}
+		}
+		return true
+	})
+	guarded := func(pos token.Pos) bool {
+		for _, g := range guardPos {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	flag := func(root ast.Expr, context string) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			mul, ok := n.(*ast.BinaryExpr)
+			if !ok || mul.Op != token.MUL {
+				return true
+			}
+			tv := info.Types[mul]
+			if tv.Value != nil { // constant-folded: cannot overflow silently here
+				return true
+			}
+			if t := tv.Type; t == nil || !isIntType(t) {
+				return true
+			}
+			if guarded(mul.Pos()) {
+				return true
+			}
+			pass.Reportf(mul.Pos(), "unguarded integer product in %s of %s; prove it fits with mathutil.CheckedMul or a math.MaxInt bound first", context, funcName(fn))
+			return false
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			// Only subscripts on slices/arrays address memory.
+			if exported && indexesMemory(info, e.X) {
+				flag(e.Index, "a subscript")
+			}
+		case *ast.SliceExpr:
+			if exported {
+				for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+					if b != nil {
+						flag(b, "a slice bound")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					for _, a := range e.Args[1:] {
+						flag(a, "a make size")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if hasLenCall(info, e.X) {
+					flag(e.Y, "a len comparison")
+				}
+				if hasLenCall(info, e.Y) {
+					flag(e.X, "a len comparison")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeIdent unwraps the called identifier for plain, selector and
+// generic-instantiation calls, returning nil for anything else.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.Ident:
+			return f
+		case *ast.SelectorExpr:
+			return f.Sel
+		default:
+			return nil
+		}
+	}
+}
+
+// indexesMemory reports whether the indexed operand is a slice, array
+// or pointer-to-array (as opposed to a map or type parameter list).
+func indexesMemory(info *types.Info, x ast.Expr) bool {
+	t := info.Types[x].Type
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+// isIntType reports whether t is (or is based on) a signed or unsigned
+// integer type.
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// hasLenCall reports whether the expression contains a len(...) call.
+func hasLenCall(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

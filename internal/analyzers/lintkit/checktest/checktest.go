@@ -1,0 +1,158 @@
+// Package checktest runs lintkit analyzers over golden packages and
+// compares the diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the stdlib-only kit.
+//
+// Golden packages live in a GOPATH-style tree: testdata/src/<path>/*.go.
+// A line that should be flagged carries a comment of the form
+//
+//	x := a * b // want `overflow`
+//	y := c % d // want `mod` `second finding on the same line`
+//
+// Each backquoted (or double-quoted) string is a regular expression
+// that must match the message of exactly one unsuppressed finding
+// reported on that line; findings and expectations must match one to
+// one, in both directions. Findings suppressed by a well-formed
+// //xpose:allow directive are not matched against wants — a suppression
+// golden file therefore has no want on the suppressed line, proving the
+// directive took effect.
+package checktest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// wantRE captures the expectation list of a // want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// exprRE captures one quoted expectation: backquoted or double-quoted.
+var exprRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one // want entry awaiting a finding.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each golden package from testdataDir/src, applies the
+// analyzers, and reports any mismatch between findings and // want
+// comments as test errors.
+func Run(t *testing.T, testdataDir string, analyzers []*lintkit.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := lintkit.NewSrcLoader(filepath.Join(testdataDir, "src"))
+	for _, path := range pkgPaths {
+		pkgs, err := loader.Load(filepath.Join(testdataDir, "src"), path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		findings, err := lintkit.Run(pkgs, analyzers)
+		if err != nil {
+			t.Errorf("running analyzers on %s: %v", path, err)
+			continue
+		}
+		expects := collectWants(t, pkgs)
+		check(t, path, findings, expects)
+	}
+}
+
+// collectWants parses every // want comment in the loaded packages.
+func collectWants(t *testing.T, pkgs []*lintkit.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(m[1])
+					exprs := exprRE.FindAllStringSubmatch(rest, -1)
+					if len(exprs) == 0 {
+						t.Errorf("%s:%d: malformed // want comment: %q", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, e := range exprs {
+						raw := e[1]
+						if raw == "" {
+							raw = e[2]
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+							continue
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// check matches unsuppressed findings against expectations one to one.
+func check(t *testing.T, pkgPath string, findings []lintkit.Finding, expects []*expectation) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", pkgPath, f)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s: %s:%d: no finding matched want %q", pkgPath, e.file, e.line, e.raw)
+		}
+	}
+}
+
+// Findings is a convenience for tests that assert on suppression
+// metadata directly: it loads one golden package and returns the raw
+// findings.
+func Findings(t *testing.T, testdataDir string, analyzers []*lintkit.Analyzer, pkgPath string) []lintkit.Finding {
+	t.Helper()
+	loader := lintkit.NewSrcLoader(filepath.Join(testdataDir, "src"))
+	pkgs, err := loader.Load(filepath.Join(testdataDir, "src"), pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	findings, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgPath, err)
+	}
+	return findings
+}
+
+// Describe formats findings for failure messages.
+func Describe(findings []lintkit.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "  %s (suppressed=%v)\n", f, f.Suppressed)
+	}
+	return b.String()
+}

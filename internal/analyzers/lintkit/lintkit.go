@@ -1,0 +1,195 @@
+// Package lintkit is a small, dependency-free analysis framework in the
+// spirit of golang.org/x/tools/go/analysis. The repository builds with
+// the standard library only, so the xposelint analyzers run on this kit
+// instead: an Analyzer inspects one type-checked package through a Pass
+// and reports Diagnostics; the driver resolves //xpose:allow
+// suppressions and aggregates Findings.
+//
+// The subset is deliberate — no facts, no modular result sharing, no
+// SSA — because the xposelint checks are all single-package syntactic
+// and type-based inspections.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name, a short description, and
+// the function that runs it over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //xpose:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description, shown by `xposelint -help`.
+	Doc string
+	// Run inspects the package behind pass and reports diagnostics via
+	// pass.Report. A non-nil error aborts the whole run (reserved for
+	// analyzer bugs, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records a diagnostic against the package.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a diagnostic after suppression resolution, positioned
+// with the file set applied.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed reports whether an //xpose:allow directive with a
+	// reason covers this finding.
+	Suppressed bool
+	// Reason is the justification text of the covering directive.
+	Reason string
+}
+
+// String formats the finding as file:line:col: [analyzer] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// allowRE matches the suppression directive:
+//
+//	//xpose:allow <analyzer> -- <reason>
+//
+// The reason is mandatory; a directive without one is itself reported
+// as a violation, so every suppression in the tree is explained.
+var allowRE = regexp.MustCompile(`^//xpose:allow\s+([a-z0-9]+)\s*(?:--\s*(.*))?$`)
+
+// allowDirective is one parsed //xpose:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	line     int    // line the directive is written on
+	file     string // filename
+	used     bool
+}
+
+// collectAllows parses every //xpose:allow directive in the files.
+// Malformed directives (unknown shape, missing reason) are reported as
+// findings under the pseudo-analyzer "xposelint".
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Finding)) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//xpose:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					report(Finding{
+						Analyzer: "xposelint",
+						Pos:      pos,
+						Message:  `malformed //xpose:allow: want "//xpose:allow <analyzer> -- <reason>" with a non-empty reason`,
+					})
+					continue
+				}
+				out = append(out, &allowDirective{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					line:     pos.Line,
+					file:     pos.Filename,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether the directive suppresses a diagnostic from the
+// named analyzer at the given position: same file, same line as the
+// directive or the line directly below it (directive-on-its-own-line).
+func (d *allowDirective) covers(analyzer string, pos token.Position) bool {
+	return d.analyzer == analyzer &&
+		d.file == pos.Filename &&
+		(d.line == pos.Line || d.line+1 == pos.Line)
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position. Suppressed findings are included with Suppressed
+// set, so callers can print a suppression summary; unused or malformed
+// //xpose:allow directives surface as findings of the pseudo-analyzer
+// "xposelint".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		report := func(f Finding) { findings = append(findings, f) }
+		allows := collectAllows(pkg.Fset, pkg.Files, report)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				for _, al := range allows {
+					if al.covers(a.Name, pos) {
+						f.Suppressed = true
+						f.Reason = al.reason
+						al.used = true
+						break
+					}
+				}
+				findings = append(findings, f)
+			}
+		}
+		for _, al := range allows {
+			if !al.used {
+				findings = append(findings, Finding{
+					Analyzer: "xposelint",
+					Pos:      token.Position{Filename: al.file, Line: al.line, Column: 1},
+					Message:  fmt.Sprintf("unused //xpose:allow %s directive (nothing to suppress here)", al.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

@@ -1,0 +1,297 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready to be
+// handed to analyzers.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory its files were read from.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records types and objects for every expression.
+	TypesInfo *types.Info
+}
+
+// A Loader loads packages from a directory tree without the go tool:
+// files come from go/build (so build tags are honoured), syntax from
+// go/parser, and types from go/types with a source importer for the
+// standard library. Module-local imports are resolved through a prefix
+// mapping instead of GOPATH, so the loader works offline with an empty
+// module cache.
+type Loader struct {
+	Fset *token.FileSet
+
+	// prefix → directory; the longest matching prefix wins. The empty
+	// prefix maps any path into a GOPATH-style src root (used by the
+	// analyzer golden tests).
+	roots map[string]string
+
+	stdlib types.Importer
+	cache  map[string]*Package
+	active map[string]bool // cycle detection
+}
+
+// NewModuleLoader returns a loader rooted at the module directory dir:
+// the module path from dir/go.mod maps to dir, everything else resolves
+// from the standard library.
+func NewModuleLoader(dir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: reading go.mod: %w", err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("lintkit: no module directive in %s/go.mod", dir)
+	}
+	return newLoader(map[string]string{mod: dir}), nil
+}
+
+// NewSrcLoader returns a loader that resolves every non-stdlib import
+// path p to srcRoot/p, the GOPATH-style layout analysis golden tests
+// use for their testdata packages.
+func NewSrcLoader(srcRoot string) *Loader {
+	return newLoader(map[string]string{"": srcRoot})
+}
+
+func newLoader(roots map[string]string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		roots:  roots,
+		stdlib: importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*Package),
+		active: make(map[string]bool),
+	}
+}
+
+// dirFor resolves an import path through the prefix mapping. ok is
+// false when the path belongs to the standard library.
+func (l *Loader) dirFor(path string) (dir string, ok bool) {
+	best := -1
+	for prefix, root := range l.roots {
+		switch {
+		case path == prefix:
+			if len(prefix) > best {
+				best, dir = len(prefix), root
+			}
+		case prefix == "" || strings.HasPrefix(path, prefix+"/"):
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, prefix), "/")
+			if len(prefix) > best {
+				best, dir = len(prefix), filepath.Join(root, filepath.FromSlash(rel))
+			}
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	// The empty prefix claims every path; only accept it when the
+	// directory actually exists so stdlib imports fall through.
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return "", false
+	}
+	return dir, true
+}
+
+// Import implements types.Importer, recursing into module-local
+// packages and delegating everything else to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// load parses and type-checks the package in dir, caching by import
+// path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.active[path] {
+		return nil, fmt.Errorf("lintkit: import cycle through %q", path)
+	}
+	l.active[path] = true
+	defer delete(l.active, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lintkit: %s: no buildable Go files", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %v", path, typeErrs[0])
+	}
+
+	pkg := &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// Load resolves the patterns to packages. A pattern is a directory
+// path, optionally ending in "/..." to include every package beneath
+// it; "./..." therefore loads a whole tree. Directories named testdata
+// and hidden directories are skipped during expansion. baseDir anchors
+// relative patterns.
+func (l *Loader) Load(baseDir string, patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(baseDir, root)
+		}
+		if !recursive {
+			dirs[root] = true
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirs[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: expanding %q: %w", pat, err)
+		}
+	}
+
+	var sorted []string
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		path, err := l.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// pathFor inverts the prefix mapping: the import path whose dirFor is
+// dir.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for prefix, root := range l.roots {
+		rootAbs, err := filepath.Abs(root)
+		if err != nil {
+			return "", err
+		}
+		if abs == rootAbs {
+			if prefix == "" {
+				return "", fmt.Errorf("lintkit: %s is the src root, not a package", dir)
+			}
+			return prefix, nil
+		}
+		if rel, err := filepath.Rel(rootAbs, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			p := filepath.ToSlash(rel)
+			if prefix != "" {
+				p = prefix + "/" + p
+			}
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("lintkit: %s is outside every configured root", dir)
+}
+
+// hasGoFiles reports whether dir contains at least one buildable
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	bp, err := build.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}

@@ -1,0 +1,142 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// ModReduce reports raw % and / by a loop-invariant divisor inside
+// //xpose:hotpath regions. Hardware division costs tens of cycles and
+// the paper's index transformations (§4.4, §6.2.4) assume the divisors
+// — the matrix dimensions and their cofactors — are fixed per plan, so
+// every hot-loop division strength-reduces to a multiply-high and shift
+// through a mathutil.Divider computed at plan time (Div, Mod, DivMod,
+// SMod).
+//
+// A division is flagged when it executes inside a loop and its divisor
+// is a non-constant variable declared outside that loop (loop-invariant
+// by scope). Constant divisors are exempt — the compiler already
+// strength-reduces those. Function literals do not reset the enclosing
+// loop: a closure built inside a loop runs its divisions inside that
+// loop for the purposes of this check, while a closure returned by a
+// loop-free factory is measured against its call sites' annotations,
+// not the factory's.
+var ModReduce = &lintkit.Analyzer{
+	Name: "modreduce",
+	Doc:  "strength-reduce hot-loop division by loop-invariant divisors",
+	Run:  runModReduce,
+}
+
+func runModReduce(pass *lintkit.Pass) error {
+	for _, region := range hotRegions(pass) {
+		checkModReduce(pass, region)
+	}
+	return nil
+}
+
+func checkModReduce(pass *lintkit.Pass, region hotRegion) {
+	info := pass.TypesInfo
+	where := funcName(region.fn)
+
+	report := func(pos token.Pos, op token.Token, div ast.Expr) {
+		name := "divisor"
+		if id, ok := div.(*ast.Ident); ok {
+			name = id.Name
+		} else if sel, ok := div.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+		verb := "%"
+		if op == token.QUO || op == token.QUO_ASSIGN {
+			verb = "/"
+		}
+		pass.Reportf(pos, "raw %s by loop-invariant %s in hot loop of %s; precompute a mathutil.Divider at plan time", verb, name, where)
+	}
+
+	// Walk with an explicit loop stack so "innermost enclosing loop" is
+	// known at every expression; FuncLits deliberately do not clear it.
+	var loops []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, s)
+			defer func() { loops = loops[:len(loops)-1] }()
+		case *ast.BinaryExpr:
+			if (s.Op == token.REM || s.Op == token.QUO) && flagDivisor(info, s.Y, loops) {
+				report(s.OpPos, s.Op, s.Y)
+			}
+		case *ast.AssignStmt:
+			if (s.Tok == token.REM_ASSIGN || s.Tok == token.QUO_ASSIGN) && len(s.Rhs) == 1 && flagDivisor(info, s.Rhs[0], loops) {
+				report(s.TokPos, s.Tok, s.Rhs[0])
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				walk(c)
+			}
+			return false
+		})
+	}
+	walk(region.node)
+}
+
+// flagDivisor reports whether the divisor expression is an integer
+// variable that is invariant with respect to the innermost enclosing
+// loop.
+func flagDivisor(info *types.Info, div ast.Expr, loops []ast.Node) bool {
+	if len(loops) == 0 {
+		return false
+	}
+	tv, ok := info.Types[div]
+	if !ok || tv.Value != nil || tv.Type == nil || !isIntType(tv.Type) {
+		return false
+	}
+	var obj types.Object
+	switch e := div.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+		if obj == nil {
+			return false
+		}
+	case *ast.SelectorExpr:
+		// p.M-style field reads: the plan fields never change inside a
+		// kernel loop, so any selector divisor is loop-invariant.
+		loop := loops[len(loops)-1]
+		return !(loop.Pos() <= e.Pos() && e.End() <= loop.End() && mutatedWithin(info, e, loop))
+	default:
+		return false
+	}
+	loop := loops[len(loops)-1]
+	// Declared inside the innermost loop → varies with the loop; skip.
+	if loop.Pos() <= obj.Pos() && obj.Pos() <= loop.End() {
+		return false
+	}
+	return true
+}
+
+// mutatedWithin conservatively reports whether the selector expression
+// is assigned anywhere inside the loop (in which case it is not
+// invariant and the strength-reduction advice would be wrong).
+func mutatedWithin(info *types.Info, sel *ast.SelectorExpr, loop ast.Node) bool {
+	mutated := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if s, ok := lhs.(*ast.SelectorExpr); ok && s.Sel.Name == sel.Sel.Name {
+					mutated = true
+				}
+			}
+		}
+		return !mutated
+	})
+	return mutated
+}

@@ -1,0 +1,266 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// PoolHygiene reports misuse of the pooling machinery the zero-alloc
+// hot path is built on:
+//
+//   - sync.Pool.Put of a slice value without a length reset: the next
+//     Get observes stale elements through the old length, and boxing a
+//     slice header allocates on every Put anyway. Reset with s = s[:0]
+//     immediately before the Put, or pool a pointer type.
+//   - copying a struct that holds a lock or pool by value (sync.Mutex,
+//     RWMutex, Pool, WaitGroup, Once, Cond, Map): the copy shares
+//     internal state with the original and corrupts it.
+//   - submitting work to internal/parallel (Pool.For, Pool.ForBounds,
+//     parallel.For) or starting a goroutine with a closure that
+//     captures an enclosing loop variable: pooled workers may run after
+//     the loop advances, so iteration state must be rebound or passed
+//     as an argument, never closed over.
+var PoolHygiene = &lintkit.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "enforce sync.Pool reset, no lock copies, no loop-var capture in pooled work",
+	Run:  runPoolHygiene,
+}
+
+func runPoolHygiene(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolHygiene(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkPoolHygiene(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	vars := loopVarsIn(info, fn.Body)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			checkPoolPuts(pass, s)
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				checkLockCopy(pass, rhs, "assignment")
+			}
+		case *ast.RangeStmt:
+			if s.Value != nil {
+				if t := info.Types[s.X].Type; t != nil {
+					if elem := rangeElemType(t); elem != nil && lockHolder(elem) != "" {
+						pass.Reportf(s.Value.Pos(), "range copies %s, which holds %s by value; iterate with the index instead", elem, lockHolder(elem))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkLockArgs(pass, s)
+			checkPoolSubmit(pass, s, vars)
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				for _, id := range capturedLoopVars(info, lit, vars) {
+					pass.Reportf(lit.Pos(), "goroutine closure captures loop variable %s; rebind it or pass it as an argument", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkPoolPuts scans one block for sync.Pool.Put(s) where s is a
+// slice-typed value whose length was not reset by the statement
+// directly above.
+func checkPoolPuts(pass *lintkit.Pass, block *ast.BlockStmt) {
+	info := pass.TypesInfo
+	for i, stmt := range block.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !isSyncPoolPut(info, call) || len(call.Args) != 1 {
+			continue
+		}
+		arg := call.Args[0]
+		t := info.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			continue
+		}
+		if id, ok := arg.(*ast.Ident); ok && i > 0 && resetsLength(block.List[i-1], id.Name) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "sync.Pool.Put of slice without length reset; assign s = s[:0] first or pool a pointer")
+	}
+}
+
+// isSyncPoolPut reports whether the call is (*sync.Pool).Put.
+func isSyncPoolPut(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// resetsLength reports whether stmt is `name = name[:0]` (possibly
+// among other assignments).
+func resetsLength(stmt ast.Stmt, name string) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		lid, ok := lhs.(*ast.Ident)
+		if !ok || lid.Name != name || i >= len(as.Rhs) {
+			continue
+		}
+		sl, ok := as.Rhs[i].(*ast.SliceExpr)
+		if !ok || sl.Low != nil || sl.High == nil {
+			continue
+		}
+		if x, ok := sl.X.(*ast.Ident); ok && x.Name == name {
+			if lit, ok := sl.High.(*ast.BasicLit); ok && lit.Value == "0" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLockCopy flags reading a lock-holding struct by value from an
+// existing variable (composite literals construct, they do not copy).
+func checkLockCopy(pass *lintkit.Pass, rhs ast.Expr, context string) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.TypesInfo.Types[rhs].Type
+	if t == nil {
+		return
+	}
+	if holder := lockHolder(t); holder != "" {
+		pass.Reportf(rhs.Pos(), "%s copies %s, which holds %s by value; use a pointer", context, t, holder)
+	}
+}
+
+// checkLockArgs flags passing a lock-holding struct by value to a call.
+func checkLockArgs(pass *lintkit.Pass, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	for _, arg := range call.Args {
+		checkLockCopy(pass, arg, "call argument")
+	}
+}
+
+// checkPoolSubmit flags parallel-submission calls whose function-literal
+// argument captures an enclosing loop variable.
+func checkPoolSubmit(pass *lintkit.Pass, call *ast.CallExpr, vars []loopVar) {
+	if !isParallelSubmit(pass.TypesInfo, call) {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for _, id := range capturedLoopVars(pass.TypesInfo, lit, vars) {
+			pass.Reportf(lit.Pos(), "work submitted to parallel pool captures loop variable %s; rebind it or pass it through the body arguments", id.Name)
+		}
+	}
+}
+
+// isParallelSubmit reports whether the call dispatches work through the
+// internal/parallel package: the package-level For, or the For /
+// ForBounds methods of its Pool type.
+func isParallelSubmit(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "For", "ForBounds":
+	default:
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	path := pkgPathOf(obj)
+	return path == "inplace/internal/parallel" || strings.HasSuffix(path, "/internal/parallel")
+}
+
+// rangeElemType returns the element type a range statement's value
+// variable copies, or nil when ranging yields no copy (maps of
+// pointers, channels of pointers, etc. still copy the element; only
+// the element type matters here).
+func rangeElemType(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Chan:
+		return u.Elem()
+	}
+	return nil
+}
+
+// lockHolder returns the name of the sync primitive a type holds by
+// value (directly or through nested struct fields), or "".
+func lockHolder(t types.Type) string {
+	return lockHolderRec(t, map[types.Type]bool{})
+}
+
+func lockHolderRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "Pool", "WaitGroup", "Once", "Cond", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if h := lockHolderRec(st.Field(i).Type(), seen); h != "" {
+			return h
+		}
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+// Package hotpathalloc is the golden input for the hotpathalloc
+// analyzer: allocating constructs inside //xpose:hotpath regions are
+// flagged, identical constructs in cold code are not.
+package hotpathalloc
+
+import "fmt"
+
+// hot is annotated: every allocating construct below must be flagged.
+//
+//xpose:hotpath
+func hot(dst []int, counts map[int]int, vals []int) []int {
+	dst = append(dst, 1)  // want `append in hotpath function hot`
+	tmp := make([]int, 4) // want `make in hotpath function hot`
+	copy(dst, tmp)
+	total := counts[3] // want `map access in hotpath function hot`
+	delete(counts, 3)  // want `map delete in hotpath function hot`
+	for k := range counts { // want `range over map in hotpath function hot`
+		total += k
+	}
+	fmt.Println(vals) // want `fmt\.Println in hotpath function hot`
+	var sink any
+	sink = any(total) // want `conversion to interface in hotpath function hot`
+	_ = sink
+	return dst
+}
+
+// hotCapture builds a closure over its loop variable.
+//
+//xpose:hotpath
+func hotCapture(vals []int, apply func(func() int)) {
+	for i := range vals {
+		apply(func() int { return vals[i] }) // want `closure in hotpath function hotCapture captures loop variable i`
+	}
+}
+
+// hotRebound rebinds the loop variable first: clean.
+//
+//xpose:hotpath
+func hotRebound(vals []int, apply func(func() int)) {
+	for i := range vals {
+		j := i
+		apply(func() int { return vals[j] })
+	}
+}
+
+// cold uses the same constructs without the annotation: clean.
+func cold(dst []int, counts map[int]int, vals []int) []int {
+	dst = append(dst, 1)
+	tmp := make([]int, 4)
+	copy(dst, tmp)
+	total := counts[3]
+	delete(counts, 3)
+	for k := range counts {
+		total += k
+	}
+	fmt.Println(vals, total)
+	return dst
+}
+
+// mixed is cold except for one annotated statement.
+func mixed(xs []int, m map[int]int) int {
+	s := m[1] // cold half: clean
+	//xpose:hotpath
+	for range xs {
+		s += m[2] // want `map access in hotpath function mixed`
+	}
+	return s
+}

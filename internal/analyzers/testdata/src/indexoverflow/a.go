@@ -1,0 +1,88 @@
+// Package indexoverflow is the golden input for the indexoverflow
+// analyzer: dimension products in index algebra must be dominated by an
+// overflow guard.
+package indexoverflow
+
+import (
+	"math"
+
+	"inplace/internal/mathutil"
+)
+
+// BadIndex subscripts with an unguarded product in an exported
+// function.
+func BadIndex(data []int, rows, cols int) int {
+	return data[rows*cols-1] // want `unguarded integer product in a subscript of BadIndex`
+}
+
+// BadSlice bounds a slice with an unguarded product.
+func BadSlice(data []int, rows, cols int) []int {
+	return data[:rows*cols] // want `unguarded integer product in a slice bound of BadSlice`
+}
+
+// BadLen validates with the overflowing comparison the analyzer exists
+// to catch.
+func BadLen(data []int, rows, cols int) bool {
+	return len(data) != rows*cols // want `unguarded integer product in a len comparison of BadLen`
+}
+
+// badMake allocates from an unguarded product; make sizes are checked
+// even in unexported functions.
+func badMake(rows, cols int) []int {
+	return make([]int, rows*cols) // want `unguarded integer product in a make size of badMake`
+}
+
+// kernel is unexported: subscripts inside validated kernels are not
+// flagged.
+func kernel(data []int, m, n int) int {
+	s := 0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s += data[i*n+j]
+		}
+	}
+	return s
+}
+
+// GuardedBound proves the product fits with a math.MaxInt bound first:
+// clean.
+func GuardedBound(data []int, rows, cols int) int {
+	if cols == 0 || rows > math.MaxInt/cols {
+		return 0
+	}
+	return data[rows*cols-1]
+}
+
+// GuardedMul proves it with mathutil.CheckedMul: clean.
+func GuardedMul(data []int, rows, cols int) int {
+	size, ok := mathutil.CheckedMul(rows, cols)
+	if !ok || len(data) < size {
+		return 0
+	}
+	return data[rows*cols-1]
+}
+
+// checkDims guards by calling CheckedMul, making it a guard function.
+func checkDims(rows, cols int) {
+	if _, ok := mathutil.CheckedMul(rows, cols); !ok {
+		panic("indexoverflow: dims overflow")
+	}
+}
+
+// GuardedByHelper calls a same-package guard function first: clean.
+func GuardedByHelper(data []int, rows, cols int) int {
+	checkDims(rows, cols)
+	return data[rows*cols-1]
+}
+
+// ConstProduct is constant-folded: clean.
+func ConstProduct(data []int) int {
+	return data[3*4]
+}
+
+// LateGuard guards after the product: the subscript is still flagged.
+func LateGuard(data []int, rows, cols int) int {
+	v := data[rows*cols-1] // want `unguarded integer product in a subscript of LateGuard`
+	checkDims(rows, cols)
+	return v
+}

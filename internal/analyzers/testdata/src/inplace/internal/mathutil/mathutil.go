@@ -1,0 +1,20 @@
+// Package mathutil is a golden-test stub of the real
+// inplace/internal/mathutil: the indexoverflow analyzer recognizes
+// CheckedMul by package name and function name, so the goldens need a
+// resolvable object with this shape.
+package mathutil
+
+// CheckedMul reports a*b and whether it is representable.
+func CheckedMul(a, b int) (int, bool) {
+	if a < 0 || b < 0 {
+		return 0, false
+	}
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}

@@ -1,0 +1,25 @@
+// Package parallel is a golden-test stub of the real
+// inplace/internal/parallel: the poolhygiene analyzer matches
+// submission calls by import path and method name, so the goldens need
+// a resolvable Pool with the same surface.
+package parallel
+
+// Pool is the stub worker pool.
+type Pool struct{}
+
+// For runs body over one chunk inline.
+func (p *Pool) For(n, workers int, body func(worker, lo, hi int)) {
+	body(0, 0, n)
+}
+
+// ForBounds runs body over the bounds inline.
+func (p *Pool) ForBounds(bounds []int, body func(worker, lo, hi int)) {
+	for w := 0; w+1 < len(bounds); w++ {
+		body(w, bounds[w], bounds[w+1])
+	}
+}
+
+// For is the package-level dispatch.
+func For(n, workers int, body func(worker, lo, hi int)) {
+	body(0, 0, n)
+}

@@ -1,0 +1,107 @@
+// Package modreduce is the golden input for the modreduce analyzer:
+// hot-loop division by a loop-invariant variable must go through a
+// precomputed reciprocal.
+package modreduce
+
+// hotMod reduces by a parameter inside its loop.
+//
+//xpose:hotpath
+func hotMod(xs []int, m int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i] % m // want `raw % by loop-invariant m in hot loop of hotMod`
+	}
+	return s
+}
+
+// hotDiv divides by a parameter inside a range loop.
+//
+//xpose:hotpath
+func hotDiv(xs []int, m int) int {
+	s := 0
+	for _, v := range xs {
+		s += v / m // want `raw / by loop-invariant m in hot loop of hotDiv`
+	}
+	return s
+}
+
+// hotAssign uses the compound form.
+//
+//xpose:hotpath
+func hotAssign(xs []int, m int) {
+	for i := range xs {
+		xs[i] %= m // want `raw % by loop-invariant m in hot loop of hotAssign`
+	}
+}
+
+// hotField divides by a struct field that the loop never writes.
+type plan struct{ n int }
+
+//xpose:hotpath
+func hotField(xs []int, p *plan) int {
+	s := 0
+	for _, v := range xs {
+		s += v % p.n // want `raw % by loop-invariant n in hot loop of hotField`
+	}
+	return s
+}
+
+// constDivisor is the compiler's strength reduction: clean.
+//
+//xpose:hotpath
+func constDivisor(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v % 8
+	}
+	return s
+}
+
+// outsideLoop reduces once, not per iteration: clean.
+//
+//xpose:hotpath
+func outsideLoop(a, b int) int {
+	return a % b
+}
+
+// varyingDivisor changes each iteration, so no reciprocal applies:
+// clean.
+//
+//xpose:hotpath
+func varyingDivisor(xs []int) int {
+	s := 0
+	for i := 1; i < len(xs); i++ {
+		d := i + 1
+		s += xs[i] % d
+	}
+	return s
+}
+
+// coldLoop is unannotated: clean even though the shape matches.
+func coldLoop(xs []int, m int) int {
+	s := 0
+	for _, v := range xs {
+		s += v % m
+	}
+	return s
+}
+
+// closureInLoop builds the dividing closure inside the loop, so the
+// division runs per iteration.
+//
+//xpose:hotpath
+func closureInLoop(xs []int, m int, apply func(func(int) int)) {
+	for range xs {
+		apply(func(v int) int { return v % m }) // want `raw % by loop-invariant m in hot loop of closureInLoop`
+	}
+}
+
+// statementRegion is cold except the annotated loop.
+func statementRegion(xs []int, m int) int {
+	s := xs[0] % m // cold: clean
+	//xpose:hotpath
+	for _, v := range xs {
+		s += v % m // want `raw % by loop-invariant m in hot loop of statementRegion`
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+// Package poolhygiene is the golden input for the poolhygiene
+// analyzer: sync.Pool slice resets, lock-holding value copies, and
+// loop-variable capture in pooled work.
+package poolhygiene
+
+import (
+	"sync"
+
+	"inplace/internal/parallel"
+)
+
+var bufPool sync.Pool
+
+// putSlice returns a slice with its stale length intact.
+func putSlice(buf []byte) {
+	bufPool.Put(buf) // want `sync\.Pool\.Put of slice without length reset`
+}
+
+// putReset truncates first: clean.
+func putReset(buf []byte) {
+	buf = buf[:0]
+	bufPool.Put(buf)
+}
+
+// putPointer pools a pointer, the recommended shape: clean.
+func putPointer(buf *[]byte) {
+	bufPool.Put(buf)
+}
+
+// guarded holds a lock by value.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// copyLock duplicates the mutex state.
+func copyLock(g *guarded) {
+	h := *g // want `assignment copies .*guarded, which holds sync\.Mutex by value`
+	h.n++
+}
+
+// passLock sends a lock-holding copy into a call.
+func passLock(g *guarded, f func(guarded)) {
+	f(*g) // want `call argument copies .*guarded, which holds sync\.Mutex by value`
+}
+
+// rangeLock copies every element into the loop variable.
+func rangeLock(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want `range copies .*guarded, which holds sync\.Mutex by value`
+		n += g.n
+	}
+	return n
+}
+
+// pointerSlice iterates pointers: clean.
+func pointerSlice(gs []*guarded) int {
+	n := 0
+	for _, g := range gs {
+		n += g.n
+	}
+	return n
+}
+
+// submitCapture closes over the loop index in pooled work.
+func submitCapture(p *parallel.Pool, jobs []int) {
+	for i := range jobs {
+		p.For(len(jobs), 1, func(w, lo, hi int) { // want `work submitted to parallel pool captures loop variable i`
+			jobs[i] = w + lo + hi
+		})
+	}
+}
+
+// submitRebound rebinds the index before closing over it: clean.
+func submitRebound(p *parallel.Pool, jobs []int) {
+	for i := range jobs {
+		j := i
+		p.For(len(jobs), 1, func(w, lo, hi int) {
+			jobs[j] = w + lo + hi
+		})
+	}
+}
+
+// submitBounds exercises the ForBounds surface.
+func submitBounds(p *parallel.Pool, bounds []int, jobs []int) {
+	for i := range jobs {
+		p.ForBounds(bounds, func(w, lo, hi int) { // want `work submitted to parallel pool captures loop variable i`
+			jobs[i] = w + lo + hi
+		})
+	}
+}
+
+// packageFor exercises the package-level dispatch.
+func packageFor(jobs []int) {
+	for i := range jobs {
+		parallel.For(len(jobs), 1, func(w, lo, hi int) { // want `work submitted to parallel pool captures loop variable i`
+			jobs[i] = w + lo + hi
+		})
+	}
+}
+
+// goCapture starts a goroutine over the loop variable.
+func goCapture(jobs []int, wg *sync.WaitGroup) {
+	for i := range jobs {
+		wg.Add(1)
+		go func() { // want `goroutine closure captures loop variable i`
+			jobs[i] = 0
+			wg.Done()
+		}()
+	}
+}

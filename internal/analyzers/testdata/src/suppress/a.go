@@ -1,0 +1,31 @@
+// Package suppress is the golden input for the //xpose:allow
+// machinery: a well-formed directive silences its finding, a directive
+// without a reason is itself a violation, and a directive that
+// suppresses nothing is reported as unused.
+package suppress
+
+// Allowed carries a well-formed suppression: the finding is recorded as
+// suppressed and does not fail the run, so this line has no want.
+func Allowed(data []int, rows, cols int) int {
+	//xpose:allow indexoverflow -- caller proves rows*cols fits at plan time
+	return data[rows*cols-1]
+}
+
+// MissingReason omits the mandatory justification.
+func MissingReason(data []int, rows, cols int) bool {
+	//xpose:allow indexoverflow // want `malformed //xpose:allow`
+	return len(data) == rows*cols // want `unguarded integer product in a len comparison of MissingReason`
+}
+
+// Unused allows an analyzer that reports nothing here.
+func Unused(x int) int {
+	//xpose:allow modreduce -- nothing here needs it // want `unused //xpose:allow modreduce directive`
+	return x
+}
+
+// WrongAnalyzer suppresses a different analyzer than the one that
+// fires: the finding survives and the directive is unused.
+func WrongAnalyzer(data []int, rows, cols int) int {
+	//xpose:allow hotpathalloc -- wrong analyzer on purpose // want `unused //xpose:allow hotpathalloc directive`
+	return data[rows*cols-1] // want `unguarded integer product in a subscript of WrongAnalyzer`
+}

@@ -8,7 +8,11 @@
 // private buffers.
 package arena
 
-import "sync"
+import (
+	"sync"
+
+	"inplace/internal/mathutil"
+)
 
 // Pool recycles pre-sized scratch frames of type F across executions.
 // Get returns a private frame (freshly built by the constructor only when
@@ -48,7 +52,11 @@ func Slab[T any](count, size int) [][]T {
 	if count <= 0 || size <= 0 {
 		return nil
 	}
-	backing := make([]T, count*size)
+	total, ok := mathutil.CheckedMul(count, size)
+	if !ok {
+		panic("arena: slab size overflows int")
+	}
+	backing := make([]T, total)
 	bufs := make([][]T, count)
 	for i := range bufs {
 		bufs[i] = backing[i*size : (i+1)*size : (i+1)*size]

@@ -12,6 +12,8 @@
 // DESIGN.md.
 package baseline
 
+import "inplace/internal/mathutil"
+
 // transposeDest maps the row-major linear index l of an m×n array to its
 // linear index in the row-major n×m transpose: l' = (l*m) mod (mn-1),
 // with 0 and mn-1 fixed. This is the classical permutation of Windley
@@ -28,7 +30,8 @@ func transposeDest(l, m, mn1 int) int {
 // makes traditional cycle following slow in practice. Sequential, like
 // mkl_dimatcopy.
 func CycleFollowBits[T any](data []T, m, n int) {
-	if len(data) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(data) != mn {
 		panic("baseline: CycleFollowBits length mismatch")
 	}
 	if m <= 1 || n <= 1 || m*n <= 3 {
@@ -62,7 +65,8 @@ func CycleFollowBits[T any](data []T, m, n int) {
 // O(mn log mn) regime the paper cites for sub-O(mn)-space cycle
 // following. Sequential; practical only for modest arrays.
 func CycleFollowLeader[T any](data []T, m, n int) {
-	if len(data) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(data) != mn {
 		panic("baseline: CycleFollowLeader length mismatch")
 	}
 	if m <= 1 || n <= 1 || m*n <= 3 {
@@ -99,6 +103,9 @@ func CycleFollowLeader[T any](data []T, m, n int) {
 // The paper attributes the difficulty of parallelizing traditional
 // algorithms to these "poorly distributed cycle lengths".
 func CycleStats(m, n int) (cycles, longest int) {
+	if _, ok := mathutil.CheckedMul(m, n); !ok {
+		panic("baseline: CycleStats shape overflows int")
+	}
 	if m <= 1 || n <= 1 || m*n <= 3 {
 		return 0, 0
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"inplace/internal/mathutil"
 	"inplace/internal/parallel"
 )
 
@@ -68,7 +69,8 @@ func TileDim(d, target int) int {
 // Gustavson transposes the row-major m×n array in place. After the call
 // the slice holds the row-major n×m transpose.
 func Gustavson[T any](data []T, m, n int, o GustavsonOpts) {
-	if len(data) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(data) != mn {
 		panic("baseline: Gustavson length mismatch")
 	}
 	if m == 1 || n == 1 {

@@ -1,6 +1,9 @@
 package baseline
 
-import "inplace/internal/parallel"
+import (
+	"inplace/internal/mathutil"
+	"inplace/internal/parallel"
+)
 
 // Sung-style in-place transposition (after I-J. Sung's dissertation and
 // the PTTWAC algorithm line). The transposition of a row-major m×n array
@@ -40,7 +43,8 @@ func (o SungOpts) threshold() int {
 
 // Sung32 transposes the row-major m×n array of 32-bit elements in place.
 func Sung32(data []uint32, m, n int, o SungOpts) {
-	if len(data) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(data) != mn {
 		panic("baseline: Sung32 length mismatch")
 	}
 	if m == 1 || n == 1 {

@@ -120,7 +120,7 @@ func runCPU(cfg Config) (labels []string, samples [][]float64) {
 	for s := 0; s < w.Samples; s++ {
 		m := w.Dim.Rand(rng)
 		n := w.Dim.Rand(rng)
-		data := make([]uint64, m*n)
+		data := gridBuf[uint64](m, n)
 		for mi, method := range methods {
 			FillSeq(data)
 			d := Time(func() { method.Run(data, m, n) })
@@ -181,7 +181,7 @@ func landscape(cfg Config, useC2R bool) (ms, ns []int, grid [][]float64) {
 	for i, m := range dims {
 		grid[i] = make([]float64, len(dims))
 		for j, n := range dims {
-			data := make([]uint64, m*n)
+			data := gridBuf[uint64](m, n)
 			FillSeq(data)
 			o := inplace.Options{Method: inplace.CacheAware, Workers: cfg.workers(), Direction: dirOpt}
 			d := Time(func() { mustTranspose(data, m, n, o) })
@@ -240,7 +240,7 @@ func runGPU(cfg Config) (labels []string, samples [][]float64) {
 		m := w.Dim.Rand(rng)
 		n := w.Dim.Rand(rng)
 
-		f32 := make([]uint32, m*n)
+		f32 := gridBuf[uint32](m, n)
 		FillSeq(f32)
 		d := Time(func() { baseline.Sung32(f32, m, n, baseline.SungOpts{Workers: workers}) })
 		samples[0] = append(samples[0], ThroughputGBps(m, n, 4, d))
@@ -249,7 +249,7 @@ func runGPU(cfg Config) (labels []string, samples [][]float64) {
 		d = Time(func() { mustTranspose(f32, m, n, inplace.Options{Workers: workers}) })
 		samples[1] = append(samples[1], ThroughputGBps(m, n, 4, d))
 
-		f64 := make([]uint64, m*n)
+		f64 := gridBuf[uint64](m, n)
 		FillSeq(f64)
 		d = Time(func() { mustTranspose(f64, m, n, inplace.Options{Workers: workers}) })
 		samples[2] = append(samples[2], ThroughputGBps(m, n, 8, d))
@@ -300,7 +300,7 @@ func Fig7(cfg Config) []Result {
 	for s := 0; s < samples; s++ {
 		fields := fieldsR.Rand(rng)
 		count := countR.Rand(rng)
-		data := make([]uint64, count*fields)
+		data := gridBuf[uint64](count, fields)
 		FillSeq(data)
 		var d time.Duration
 		d = Time(func() {

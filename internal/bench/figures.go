@@ -13,13 +13,13 @@ import (
 // a 3×8 array.
 func Fig1(Config) []Result {
 	m, n := 3, 8
-	rowMajor := make([]int, m*n)
+	rowMajor := gridBuf[int](m, n)
 	for i := range rowMajor {
 		rowMajor[i] = i
 	}
 	// The right-hand matrix of Figure 1 holds 0..23 in column-major
 	// reading order; applying C2R to it yields the row-major matrix.
-	colMajorish := make([]int, m*n)
+	colMajorish := gridBuf[int](m, n)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			colMajorish[i*n+j] = i + j*m
@@ -61,7 +61,7 @@ func Fig1(Config) []Result {
 func Fig2(Config) []Result {
 	m, n := 4, 8
 	p := cr.NewPlan(m, n)
-	data := make([]int, m*n)
+	data := gridBuf[int](m, n)
 	for i := range data {
 		data[i] = i
 	}
@@ -118,7 +118,7 @@ func Fig2(Config) []Result {
 	}
 	draw("after column shuffle (eq. 26) — the transpose, linearized:", stage)
 
-	want := make([]int, m*n)
+	want := gridBuf[int](m, n)
 	core.OutOfPlace(want, data, m, n)
 	match := true
 	for i := range want {

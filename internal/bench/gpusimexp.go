@@ -39,7 +39,7 @@ func GPUSim(cfg Config) []Result {
 	for _, sh := range shapes {
 		m, n := sh[0], sh[1]
 		d := gpusim.NewK20c()
-		data := make([]uint64, m*n)
+		data := gridBuf[uint64](m, n)
 		FillSeq(data)
 		d.C2R(data, cr.NewPlan(m, n))
 		executed := d.Throughput(m, n, 8)

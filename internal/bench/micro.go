@@ -126,7 +126,7 @@ func warmPlanner(rows, cols int, o inplace.Options) func() func() {
 		if err != nil {
 			panic(err)
 		}
-		data := make([]uint64, rows*cols)
+		data := gridBuf[uint64](rows, cols)
 		FillSeq(data)
 		if err := pl.Execute(data); err != nil {
 			panic(err)

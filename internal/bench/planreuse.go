@@ -22,7 +22,7 @@ func PlanReuse(cfg Config) []Result {
 	for s := 0; s < samples; s++ {
 		fields := fieldsR.Rand(rng)
 		count := countR.Rand(rng)
-		data := make([]uint64, count*fields)
+		data := gridBuf[uint64](count, fields)
 		FillSeq(data)
 
 		dCold := Time(func() {

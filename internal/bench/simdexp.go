@@ -69,8 +69,8 @@ func simulateAccess(kind simd.AccessKind, op accessOp, pattern accessPattern, K,
 	w := simd.NewWarp(W, K, mem)
 	plan := simd.PlanFor(w)
 	nStructs := W * iters * 2
-	src := make([]uint64, nStructs*K)
-	dst := make([]uint64, nStructs*K)
+	src := gridBuf[uint64](nStructs, K)
+	dst := gridBuf[uint64](nStructs, K)
 	for i := range src {
 		src[i] = uint64(i)
 	}

@@ -43,7 +43,7 @@ func Tuned(cfg Config) []Result {
 				panic(err)
 			}
 		}
-		data := make([]uint64, m*n)
+		data := gridBuf[uint64](m, n)
 		FillSeq(data)
 
 		measure := func(o inplace.Options) float64 {

@@ -2,6 +2,7 @@ package cachesim
 
 import (
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/perm"
 )
 
@@ -17,6 +18,9 @@ import (
 func TraceCycleFollow(c *Cache, m, n, elemBytes int) {
 	if m <= 1 || n <= 1 {
 		return
+	}
+	if _, ok := mathutil.CheckedMul(m, n); !ok {
+		panic("cachesim: trace shape overflows int")
 	}
 	mn1 := m*n - 1
 	visited := make([]bool, m*n)
@@ -47,6 +51,9 @@ func TraceCycleFollow(c *Cache, m, n, elemBytes int) {
 func TraceSung(c *Cache, m, n, elemBytes, a int) {
 	if m <= 1 || n <= 1 {
 		return
+	}
+	if _, ok := mathutil.CheckedMul(m, n); !ok {
+		panic("cachesim: m*n overflows int")
 	}
 	eb := int64(elemBytes)
 	if a < 1 || m%a != 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/parallel"
 	"inplace/internal/perm"
 )
@@ -21,9 +22,13 @@ import (
 // the groups [glo, ghi), processing groups of up to blockW adjacent
 // columns together: a coarse whole-sub-row rotation by a group-common
 // amount followed by a fine forward sweep applying the bounded
-// residuals. Groups are independent, so any chunk of groups can run in
-// parallel with any other.
-func rotateGroupsRange[T any](data []T, m, n int, amount func(j int) int, blockW int, fr *frame[T], glo, ghi int) {
+// residuals. divM is the plan's strength-reduced divider for m, so the
+// per-column amount normalization performs no hardware division. Groups
+// are independent, so any chunk of groups can run in parallel with any
+// other.
+//
+//xpose:hotpath
+func rotateGroupsRange[T any](data []T, m, n int, amount func(j int) int, divM mathutil.Divider, blockW int, fr *frame[T], glo, ghi int) {
 	am, res := fr.idx(blockW)
 	spare := fr.spareBuf(blockW)
 	for g := glo; g < ghi; g++ {
@@ -34,11 +39,7 @@ func rotateGroupsRange[T any](data []T, m, n int, amount func(j int) int, blockW
 		}
 		w := j1 - j0
 		for j := j0; j < j1; j++ {
-			r := amount(j) % m
-			if r < 0 {
-				r += m
-			}
-			am[j-j0] = r
+			am[j-j0] = divM.SMod(amount(j))
 		}
 		// Pick the coarse amount so that every residual
 		// (am - k) mod m stays below the band bound. The paper's
@@ -83,10 +84,7 @@ func rotateGroupsRange[T any](data []T, m, n int, amount func(j int) int, blockW
 		// Fine phase: forward sweep, out[i][j] = in[(i+res)%m][j].
 		// Writing row i only consumes rows >= i, except wrapped reads
 		// near the bottom, which come from the saved head band.
-		if cap(fr.saved) < band*w {
-			fr.saved = make([]T, band*w)
-		}
-		saved := fr.saved[:band*w]
+		saved := fr.savedBuf(band * w)
 		for r := 0; r < band; r++ {
 			copy(saved[r*w:r*w+w], data[r*n+j0:r*n+j1])
 		}
@@ -111,9 +109,10 @@ func rotateColumnsCacheAware[T any](data []T, m, n int, amount func(j int) int, 
 	if m <= 1 || n == 0 {
 		return
 	}
+	divM := mathutil.NewDivider(m)
 	groups := (n + blockW - 1) / blockW
 	parallel.For(groups, workers, func(_, glo, ghi int) {
-		rotateGroupsRange(data, m, n, amount, blockW, new(frame[T]), glo, ghi)
+		rotateGroupsRange(data, m, n, amount, divM, blockW, new(frame[T]), glo, ghi)
 	})
 }
 
@@ -121,6 +120,8 @@ func rotateColumnsCacheAware[T any](data []T, m, n int, amount func(j int) int, 
 // column groups [glo, ghi): every group of up to blockW adjacent columns
 // walks all cycles over its own column range with whole-sub-row moves
 // (§4.7). spare must hold at least min(blockW, n) elements.
+//
+//xpose:hotpath
 func rowPermuteWideRange[T any](data []T, n, blockW int, p perm.P, leaders, lengths []int, spare []T, glo, ghi int) {
 	for g := glo; g < ghi; g++ {
 		j0 := g * blockW
@@ -135,6 +136,8 @@ func rowPermuteWideRange[T any](data []T, n, blockW int, p perm.P, leaders, leng
 // rowPermuteNarrowRange permutes whole rows for the cycles led by
 // leaders[lo:hi], each worker moving full n-element rows. spare must
 // hold at least n elements.
+//
+//xpose:hotpath
 func rowPermuteNarrowRange[T any](data []T, n int, p perm.P, leaders, lengths []int, spare []T, lo, hi int) {
 	perm.GatherChunksStrided(data, 0, n, n, p, leaders[lo:hi], lengths[lo:hi], spare)
 }

@@ -5,6 +5,7 @@ import (
 
 	"inplace/internal/arena"
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 )
 
 // Engine binds a Schedule to an element type: it owns the recycled
@@ -24,7 +25,7 @@ type Engine[T any] struct {
 	// function value inside a generic method builds a dictionary-bound
 	// funcval on the heap per use, which would break the zero-allocation
 	// steady state.
-	kRotate        func([]T, int, int, func(int) int, []T, int, int)
+	kRotate        func([]T, int, int, func(int) int, mathutil.Divider, []T, int, int)
 	kPermuteNaive  func([]T, int, int, func(int) int, []T, int, int)
 	kColShuffle    func([]T, *cr.Plan, []T, int, int)
 	kRowScatter    func([]T, *cr.Plan, []T, int, int)
@@ -58,11 +59,19 @@ func NewEngine[T any](s *Schedule) *Engine[T] {
 // Schedule returns the shared untyped half of the plan.
 func (e *Engine[T]) Schedule() *Schedule { return e.s }
 
+// badLenMsg builds the buffer-length panic message. Kept out of line so
+// the hot entry points contain no fmt machinery.
+func badLenMsg(op string, n int, p *cr.Plan) string {
+	return fmt.Sprintf("core: %s buffer length %d does not match %v", op, n, p)
+}
+
 // C2R performs the in-place C2R transposition of the flat row-major
 // m×n array described by the schedule's plan (see the package-level C2R).
+//
+//xpose:hotpath
 func (e *Engine[T]) C2R(data []T) {
-	if len(data) != e.s.Plan.M*e.s.Plan.N {
-		panic(fmt.Sprintf("core: C2R buffer length %d does not match %v", len(data), e.s.Plan))
+	if len(data) != e.s.Plan.Size {
+		panic(badLenMsg("C2R", len(data), e.s.Plan))
 	}
 	st := e.states.Get()
 	defer e.states.Put(st)
@@ -81,9 +90,11 @@ func (e *Engine[T]) C2R(data []T) {
 }
 
 // R2C performs the in-place R2C transposition, the exact inverse of C2R.
+//
+//xpose:hotpath
 func (e *Engine[T]) R2C(data []T) {
-	if len(data) != e.s.Plan.M*e.s.Plan.N {
-		panic(fmt.Sprintf("core: R2C buffer length %d does not match %v", len(data), e.s.Plan))
+	if len(data) != e.s.Plan.Size {
+		panic(badLenMsg("R2C", len(data), e.s.Plan))
 	}
 	st := e.states.Get()
 	defer e.states.Put(st)
@@ -108,7 +119,7 @@ func (e *Engine[T]) R2C(data []T) {
 // shuffle, gather column shuffle.
 func (e *Engine[T]) c2rScatter(data []T, st *execState[T]) {
 	if !e.s.Plan.Coprime {
-		e.colFnPass(data, st, e.kRotate, e.s.rotFn)
+		e.rotatePass(data, st, e.s.rotFn)
 	}
 	e.rowPass(data, st, e.kRowScatter)
 	e.colPass(data, st, e.kColShuffle)
@@ -118,7 +129,7 @@ func (e *Engine[T]) c2rScatter(data []T, st *execState[T]) {
 // the closed-form inverse d'^{-1} so every pass is a gather.
 func (e *Engine[T]) c2rGather(data []T, st *execState[T]) {
 	if !e.s.Plan.Coprime {
-		e.colFnPass(data, st, e.kRotate, e.s.rotFn)
+		e.rotatePass(data, st, e.s.rotFn)
 	}
 	e.rowPass(data, st, e.kRowGather)
 	e.colPass(data, st, e.kColShuffle)
@@ -130,10 +141,10 @@ func (e *Engine[T]) c2rGather(data []T, st *execState[T]) {
 // inverts as a gather with r^{-1} (§4.3).
 func (e *Engine[T]) r2cScatter(data []T, st *execState[T]) {
 	e.colFnPass(data, st, e.kPermuteNaive, e.s.qInvFn)
-	e.colFnPass(data, st, e.kRotate, e.s.negIDFn)
+	e.rotatePass(data, st, e.s.negIDFn)
 	e.rowPass(data, st, e.kRowGatherD)
 	if !e.s.Plan.Coprime {
-		e.colFnPass(data, st, e.kRotate, e.s.negRotFn)
+		e.rotatePass(data, st, e.s.negRotFn)
 	}
 }
 
@@ -227,7 +238,7 @@ func (e *Engine[T]) colPass(data []T, st *execState[T], kern func([]T, *cr.Plan,
 }
 
 // colFnPass runs a column kernel parameterized by an index function
-// (rotation amount or row permutation) over all N columns.
+// (row permutation) over all N columns.
 func (e *Engine[T]) colFnPass(data []T, st *execState[T], kern func([]T, int, int, func(int) int, []T, int, int), f func(int) int) {
 	s := e.s
 	m, n := s.Plan.M, s.Plan.N
@@ -241,6 +252,22 @@ func (e *Engine[T]) colFnPass(data []T, st *execState[T], kern func([]T, int, in
 	})
 }
 
+// rotatePass runs the naive column-rotation kernel, which additionally
+// takes the plan's strength-reduced divider for m, over all N columns.
+func (e *Engine[T]) rotatePass(data []T, st *execState[T], f func(int) int) {
+	s := e.s
+	m, n := s.Plan.M, s.Plan.N
+	divM := s.Plan.DivM()
+	bounds := s.boundsN
+	if len(bounds) == 2 {
+		e.kRotate(data, m, n, f, divM, st.frames[0].elems(m), bounds[0], bounds[1])
+		return
+	}
+	s.dispatch(bounds, func(w, lo, hi int) {
+		e.kRotate(data, m, n, f, divM, st.frames[w].elems(m), lo, hi)
+	})
+}
+
 // rotateGroups runs the cache-aware coarse/fine column rotation over all
 // column groups.
 func (e *Engine[T]) rotateGroups(data []T, st *execState[T], amount func(int) int) {
@@ -249,13 +276,14 @@ func (e *Engine[T]) rotateGroups(data []T, st *execState[T], amount func(int) in
 	if m <= 1 || n == 0 {
 		return
 	}
+	divM := s.Plan.DivM()
 	bounds := s.boundsGroups
 	if len(bounds) == 2 {
-		rotateGroupsRange(data, m, n, amount, s.blockW, &st.frames[0], bounds[0], bounds[1])
+		rotateGroupsRange(data, m, n, amount, divM, s.blockW, &st.frames[0], bounds[0], bounds[1])
 		return
 	}
 	s.dispatch(bounds, func(w, glo, ghi int) {
-		rotateGroupsRange(data, m, n, amount, s.blockW, &st.frames[w], glo, ghi)
+		rotateGroupsRange(data, m, n, amount, divM, s.blockW, &st.frames[w], glo, ghi)
 	})
 }
 
@@ -360,6 +388,15 @@ func (fr *frame[T]) spareBuf(n int) []T {
 		fr.spare = make([]T, n)
 	}
 	return fr.spare[:n]
+}
+
+// savedBuf returns the frame's fine-phase head-band buffer of at least n
+// elements, growing it if this execution needs more than any before.
+func (fr *frame[T]) savedBuf(n int) []T {
+	if cap(fr.saved) < n {
+		fr.saved = make([]T, n)
+	}
+	return fr.saved[:n]
 }
 
 // idx returns the frame's rotation amount/residual arrays of at least n

@@ -11,11 +11,14 @@
 // inverse permutation.
 package core
 
+import "inplace/internal/mathutil"
+
 // OutOfPlace writes the transpose of the row-major m×n array src into
 // dst (row-major n×m) and is the correctness oracle for every in-place
 // engine. dst and src must not alias.
 func OutOfPlace[T any](dst, src []T, m, n int) {
-	if len(src) != m*n || len(dst) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(src) != mn || len(dst) != mn {
 		panic("core: OutOfPlace length mismatch")
 	}
 	for i := 0; i < m; i++ {
@@ -30,7 +33,8 @@ func OutOfPlace[T any](dst, src []T, m, n int) {
 // dst[i*n+j] = src at (s(i,j), c(i,j)). Used by tests to validate that
 // the in-place pipeline realizes exactly this permutation.
 func GatherC2R[T any](dst, src []T, m, n int) {
-	if len(src) != m*n || len(dst) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(src) != mn || len(dst) != mn {
 		panic("core: GatherC2R length mismatch")
 	}
 	for i := 0; i < m; i++ {
@@ -45,7 +49,8 @@ func GatherC2R[T any](dst, src []T, m, n int) {
 // GatherR2C materializes the out-of-place R2C permutation of Equation 12:
 // dst[i*n+j] = src at (t(i,j), d(i,j)). It is the inverse of GatherC2R.
 func GatherR2C[T any](dst, src []T, m, n int) {
-	if len(src) != m*n || len(dst) != m*n {
+	mn, ok := mathutil.CheckedMul(m, n)
+	if !ok || len(src) != mn || len(dst) != mn {
 		panic("core: GatherR2C length mismatch")
 	}
 	for i := 0; i < m; i++ {

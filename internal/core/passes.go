@@ -2,6 +2,7 @@ package core
 
 import (
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/parallel"
 )
 
@@ -19,13 +20,14 @@ import (
 // rotateColumnsGatherRange applies a per-column rotation as a gather for
 // columns [lo, hi): column j becomes col'[i] = col[(i + amount(j)) mod m].
 // This is the naive formulation; see cacheaware.go for the coarse/fine
-// version. tmp must hold at least m elements.
-func rotateColumnsGatherRange[T any](data []T, m, n int, amount func(j int) int, tmp []T, lo, hi int) {
+// version. divM is the plan's strength-reduced divider for m, so the
+// per-column amount normalization performs no hardware division; tmp must
+// hold at least m elements.
+//
+//xpose:hotpath
+func rotateColumnsGatherRange[T any](data []T, m, n int, amount func(j int) int, divM mathutil.Divider, tmp []T, lo, hi int) {
 	for j := lo; j < hi; j++ {
-		r := amount(j) % m
-		if r < 0 {
-			r += m
-		}
+		r := divM.SMod(amount(j))
 		if r == 0 {
 			continue
 		}
@@ -45,14 +47,17 @@ func rotateColumnsGatherRange[T any](data []T, m, n int, amount func(j int) int,
 // rotateColumnsGather is the one-shot parallel form of the naive column
 // rotation, kept for the ablation harness and pass-level tests.
 func rotateColumnsGather[T any](data []T, m, n int, amount func(j int) int, workers int) {
+	divM := mathutil.NewDivider(m)
 	parallel.For(n, workers, func(_, lo, hi int) {
-		rotateColumnsGatherRange(data, m, n, amount, make([]T, m), lo, hi)
+		rotateColumnsGatherRange(data, m, n, amount, divM, make([]T, m), lo, hi)
 	})
 }
 
 // rowShuffleScatterRange is the row shuffle of Algorithm 1 for rows
 // [lo, hi): each row i is scattered through tmp with indices d'_i(j)
 // (Equation 24). tmp must hold at least n elements.
+//
+//xpose:hotpath
 func rowShuffleScatterRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	n := p.N
 	for i := lo; i < hi; i++ {
@@ -67,6 +72,8 @@ func rowShuffleScatterRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 // rowShuffleGatherRange is the gather formulation of the row shuffle
 // using the closed-form inverse d'^{-1}_i (Equation 31), preferred on
 // hardware where gathers outperform scatters (§4.2).
+//
+//xpose:hotpath
 func rowShuffleGatherRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	n := p.N
 	for i := lo; i < hi; i++ {
@@ -85,16 +92,19 @@ func rowShuffleGatherRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 // every b columns), so the inner loop performs no division at all — the
 // strongest form of the §4.4 strength reduction, available to passes
 // that visit indices in order.
+//
+//xpose:hotpath
 func rowShuffleScatterIncRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	m, n := p.M, p.N
 	mModN := m % n
+	divN := p.DivN()
 	b := p.B
 	for i := lo; i < hi; i++ {
 		row := data[i*n : i*n+n]
-		jb := 0     // j mod b
-		jm := 0     // (j*m) mod n
-		srMod := i  // (i + ⌊j/b⌋) mod m
-		dm := i % n // srMod mod n
+		jb := 0           // j mod b
+		jm := 0           // (j*m) mod n
+		srMod := i        // (i + ⌊j/b⌋) mod m
+		dm := divN.Mod(i) // srMod mod n
 		for j := 0; j < n; j++ {
 			d := dm + jm
 			if d >= n {
@@ -133,6 +143,8 @@ func rowShuffleScatterInc[T any](data []T, p *cr.Plan, workers int) {
 // rowShuffleGatherDRange gathers each row with d'_i directly; because
 // gathering with a permutation's forward map applies its inverse, this is
 // the row shuffle of the R2C transpose (§4.3).
+//
+//xpose:hotpath
 func rowShuffleGatherDRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	n := p.N
 	for i := lo; i < hi; i++ {
@@ -148,16 +160,19 @@ func rowShuffleGatherDRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 // incremental index arithmetic as rowShuffleScatterIncRange: the R2C row
 // shuffle gathers through d'_i, whose values advance by constant steps
 // in j.
+//
+//xpose:hotpath
 func rowShuffleGatherDIncRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	m, n := p.M, p.N
 	mModN := m % n
+	divN := p.DivN()
 	b := p.B
 	for i := lo; i < hi; i++ {
 		row := data[i*n : i*n+n]
 		jb := 0
 		jm := 0
 		srMod := i
-		dm := i % n
+		dm := divN.Mod(i)
 		for j := 0; j < n; j++ {
 			d := dm + jm
 			if d >= n {
@@ -188,6 +203,8 @@ func rowShuffleGatherDIncRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int)
 // columnShuffleGatherRange applies the C2R column shuffle as a direct
 // gather with s'_j (Equation 26), the single-pass formulation of
 // Algorithm 1, for columns [lo, hi). tmp must hold at least m elements.
+//
+//xpose:hotpath
 func columnShuffleGatherRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) {
 	m, n := p.M, p.N
 	for j := lo; j < hi; j++ {
@@ -204,6 +221,8 @@ func columnShuffleGatherRange[T any](data []T, p *cr.Plan, tmp []T, lo, hi int) 
 // by gathering column-by-column over columns [lo, hi). The cache-aware
 // engine replaces this with whole-sub-row cycle following (§4.7). tmp
 // must hold at least m elements.
+//
+//xpose:hotpath
 func rowPermuteGatherNaiveRange[T any](data []T, m, n int, permf func(i int) int, tmp []T, lo, hi int) {
 	for j := lo; j < hi; j++ {
 		for i := 0; i < m; i++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/parallel"
 )
 
@@ -47,6 +48,8 @@ type bandRowFunc[T any] func(br *bandReader[T], i int, tmp []T)
 // destination row i the scatter destination
 // d'_i(j) = (srcRowMod + j*m) mod n and the source row i + ⌊j/b⌋ both
 // advance incrementally in j.
+//
+//xpose:hotpath
 func skinnyC2RPass1[T any](p *cr.Plan) bandRowFunc[T] {
 	m, n, b := p.M, p.N, p.B
 	mModN := m % n
@@ -86,6 +89,8 @@ func skinnyC2RPass1[T any](p *cr.Plan) bandRowFunc[T] {
 
 // skinnyC2RPass2 is the p_j rotation as a forward band sweep with
 // look-ahead n-1: out[i][j] = in[(i+j) mod m][j].
+//
+//xpose:hotpath
 func skinnyC2RPass2[T any](p *cr.Plan) bandRowFunc[T] {
 	n := p.N
 	return func(br *bandReader[T], i int, tmp []T) {
@@ -97,6 +102,8 @@ func skinnyC2RPass2[T any](p *cr.Plan) bandRowFunc[T] {
 
 // skinnyR2CPass2 is the p^{-1} rotation as a backward band sweep with
 // look-behind n-1: out[i][j] = in[(i-j) mod m][j].
+//
+//xpose:hotpath
 func skinnyR2CPass2[T any](p *cr.Plan) bandRowFunc[T] {
 	n := p.N
 	return func(br *bandReader[T], i int, tmp []T) {
@@ -112,6 +119,8 @@ func skinnyR2CPass2[T any](p *cr.Plan) bandRowFunc[T] {
 // r = i - ⌊j/b⌋ into d'_r(j) collapses the rotation term, so the source
 // column needs no inverse map at all). The source column advances
 // incrementally; the source row decrements every b columns.
+//
+//xpose:hotpath
 func skinnyR2CPass3[T any](p *cr.Plan) bandRowFunc[T] {
 	m, n, b := p.M, p.N, p.B
 	mModN := m % n
@@ -151,6 +160,8 @@ type bandReader[T any] struct {
 // read returns element (sr mod m, col) as it was before the sweep began
 // overwriting rows outside the caller's frontier. sr is the unreduced row
 // index: within [i, i+band] for forward sweeps, [i-band, i] for backward.
+//
+//xpose:hotpath
 func (br *bandReader[T]) read(sr, col int) T {
 	if br.forward {
 		if sr < br.hi {
@@ -178,6 +189,8 @@ func (br *bandReader[T]) read(sr, col int) T {
 // downward otherwise), calling row(br, i, tmp) to produce each
 // destination row into tmp before copying it over row i. br must already
 // be initialized for the chunk; tmp must hold at least n elements.
+//
+//xpose:hotpath
 func bandChunkRange[T any](br *bandReader[T], data []T, n int, forward bool, row bandRowFunc[T], tmp []T, lo, hi int) {
 	if forward {
 		for i := lo; i < hi; i++ {
@@ -198,6 +211,8 @@ func bandChunkRange[T any](br *bandReader[T], data []T, n int, forward bool, row
 // ahead into it, and saved[0] doubles as the wrap-around band), or the
 // band below each chunk's end for backward sweeps (saved[nchunks-1]
 // doubles as the wrap-around band). saved[k] must hold band*n elements.
+//
+//xpose:hotpath
 func snapshotBands[T any](data []T, n, band int, forward bool, bounds []int, saved [][]T) {
 	if band <= 0 {
 		return
@@ -259,9 +274,13 @@ func bandSweepOneShot[T any](data []T, m, n, band, workers int, forward bool, ro
 	nchunks := len(bounds) - 1
 	var saved [][]T
 	if band > 0 {
+		bandElems, ok := mathutil.CheckedMul(band, n)
+		if !ok {
+			panic("core: band snapshot size overflows int")
+		}
 		saved = make([][]T, nchunks)
 		for k := range saved {
-			saved[k] = make([]T, band*n)
+			saved[k] = make([]T, bandElems)
 		}
 		snapshotBands(data, n, band, forward, bounds, saved)
 	}

@@ -22,6 +22,7 @@ import (
 // every invariant denominator the index maps use.
 type Plan struct {
 	M, N    int // rows, columns
+	Size    int // m*n, proven not to overflow int by NewPlan
 	C       int // gcd(m, n)
 	A, B    int // m/c, n/c
 	AInvB   int // mmi(a, b): a * AInvB ≡ 1 (mod b); 0 when b == 1
@@ -38,6 +39,10 @@ func NewPlan(m, n int) *Plan {
 	if m <= 0 || n <= 0 {
 		panic(fmt.Sprintf("cr: invalid shape %dx%d", m, n))
 	}
+	size, ok := mathutil.CheckedMul(m, n)
+	if !ok {
+		panic(fmt.Sprintf("cr: shape %dx%d overflows int", m, n))
+	}
 	c := mathutil.GCD(m, n)
 	a, b := m/c, n/c
 	aInv, ok := mathutil.ModInverse(a, b)
@@ -49,7 +54,7 @@ func NewPlan(m, n int) *Plan {
 		panic("cr: b and a must be coprime") // unreachable
 	}
 	return &Plan{
-		M: m, N: n, C: c, A: a, B: b,
+		M: m, N: n, Size: size, C: c, A: a, B: b,
 		AInvB: aInv, BInvA: bInv,
 		Coprime: c == 1,
 		divM:    mathutil.NewDivider(m),
@@ -63,6 +68,14 @@ func NewPlan(m, n int) *Plan {
 // Transposed returns the plan for the transposed shape (n×m).
 func (p *Plan) Transposed() *Plan { return NewPlan(p.N, p.M) }
 
+// DivM returns the strength-reduced divider for the row count m, for
+// kernels that normalize rotation amounts modulo m without a hardware
+// divide (§4.4).
+func (p *Plan) DivM() mathutil.Divider { return p.divM }
+
+// DivN returns the strength-reduced divider for the column count n.
+func (p *Plan) DivN() mathutil.Divider { return p.divN }
+
 // String summarizes the plan constants.
 func (p *Plan) String() string {
 	return fmt.Sprintf("Plan(%dx%d c=%d a=%d b=%d)", p.M, p.N, p.C, p.A, p.B)
@@ -71,10 +84,14 @@ func (p *Plan) String() string {
 // --- Pre-rotation (Equations 23 and 36) ---
 
 // Rot returns the pre-rotation amount for column j: ⌊j/b⌋.
+//
+//xpose:hotpath
 func (p *Plan) Rot(j int) int { return p.divB.Div(j) }
 
 // RGather is Equation 23: during the C2R pre-rotation, element i of the
 // rotated column j gathers from row (i + ⌊j/b⌋) mod m.
+//
+//xpose:hotpath
 func (p *Plan) RGather(i, j int) int {
 	v := i + p.divB.Div(j)
 	if v >= p.M {
@@ -85,6 +102,8 @@ func (p *Plan) RGather(i, j int) int {
 
 // RInvGather is Equation 36: the R2C post-rotation gathers element i of
 // column j from row (i - ⌊j/b⌋) mod m.
+//
+//xpose:hotpath
 func (p *Plan) RInvGather(i, j int) int {
 	v := i - p.divB.Div(j)
 	if v < 0 {
@@ -98,11 +117,15 @@ func (p *Plan) RInvGather(i, j int) int {
 // D is Equation 22: the destination column of element j in row i before
 // the conflict-removing pre-rotation, d_i(j) = (i + j*m) mod n. It is
 // periodic with period b (Lemma 1) and bijective only when gcd(m,n) = 1.
+//
+//xpose:hotpath
 func (p *Plan) D(i, j int) int { return p.divN.Mod(i + j*p.M) }
 
 // DPrime is Equation 24: the destination column of element j in row i
 // after pre-rotation, d'_i(j) = ((i + ⌊j/b⌋) mod m + j*m) mod n. Theorem 3
 // proves d'_i is a bijection on [0, n) for every fixed i.
+//
+//xpose:hotpath
 func (p *Plan) DPrime(i, j int) int {
 	r := i + p.divB.Div(j)
 	if r >= p.M {
@@ -115,6 +138,8 @@ func (p *Plan) DPrime(i, j int) int {
 //
 //	f(i,j) = j + i(n-1)       if i - (j mod c) + c <= m
 //	f(i,j) = j + i(n-1) + m   otherwise.
+//
+//xpose:hotpath
 func (p *Plan) F(i, j int) int {
 	v := j + i*(p.N-1)
 	if i-p.divC.Mod(j)+p.C > p.M {
@@ -125,6 +150,8 @@ func (p *Plan) F(i, j int) int {
 
 // DPrimeInv is Equation 31, the gather formulation of the row shuffle:
 // d'^{-1}_i(j) = (a^{-1} ⌊f(i,j)/c⌋) mod b + (f(i,j) mod c) · b.
+//
+//xpose:hotpath
 func (p *Plan) DPrimeInv(i, j int) int {
 	f := p.F(i, j)
 	q, r := p.divC.DivMod(f)
@@ -135,12 +162,16 @@ func (p *Plan) DPrimeInv(i, j int) int {
 
 // SPrime is Equation 26: the source row for element i of column j in the
 // C2R column shuffle, s'_j(i) = (j + i*n - ⌊i/a⌋) mod m.
+//
+//xpose:hotpath
 func (p *Plan) SPrime(i, j int) int {
 	return p.divM.Mod(j + i*p.N - p.divA.Div(i))
 }
 
 // PJ is Equation 32: the column-rotation component of the column shuffle,
 // p_j(i) = (i + j) mod m. Gathering with p_j then with q reproduces s'_j.
+//
+//xpose:hotpath
 func (p *Plan) PJ(i, j int) int {
 	v := i + j
 	if v >= p.M {
@@ -152,6 +183,8 @@ func (p *Plan) PJ(i, j int) int {
 // PJInv is Equation 35: the inverse rotation gather, (i - j) mod m.
 // j ranges over columns and may exceed m, so the difference can be an
 // arbitrarily negative multiple of m.
+//
+//xpose:hotpath
 func (p *Plan) PJInv(i, j int) int {
 	v := i - j
 	if v >= 0 {
@@ -169,12 +202,16 @@ func (p *Plan) PJInv(i, j int) int {
 
 // Q is Equation 33: the row-permutation component of the column shuffle,
 // q(i) = (i*n - ⌊i/a⌋) mod m, applied identically to every column.
+//
+//xpose:hotpath
 func (p *Plan) Q(i int) int {
 	return p.divM.Mod(i*p.N - p.divA.Div(i))
 }
 
 // QInv is Equation 34: the closed-form inverse row permutation,
 // q^{-1}(i) = (⌊(c-1+i)/c⌋ · b^{-1}) mod a + (((c-1)·i) mod c) · a.
+//
+//xpose:hotpath
 func (p *Plan) QInv(i int) int {
 	return p.divA.Mod(p.divC.Div(p.C-1+i)*p.BInvA) + p.divC.Mod((p.C-1)*i)*p.A
 }

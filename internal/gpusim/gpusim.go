@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/memsim"
 )
 
@@ -103,7 +104,7 @@ func (d *Device) gatherRow(data []uint64, n int, srcIdx func(j int) int, dst []u
 // on the device, charging every access to the memory model. The buffer
 // afterwards holds the row-major n×m transpose.
 func (d *Device) C2R(data []uint64, p *cr.Plan) {
-	if len(data) != p.M*p.N {
+	if len(data) != p.Size {
 		panic(fmt.Sprintf("gpusim: buffer length %d does not match %v", len(data), p))
 	}
 	if !p.Coprime {
@@ -153,7 +154,11 @@ func (d *Device) rotateKernel(data []uint64, p *cr.Plan, amount func(j int) int)
 		// Fine sweep: stream rows forward, each destination row gathers
 		// from its residual band (the band stays in registers/L1, so
 		// only one read and one write per row reach memory).
-		saved := make([]uint64, band*w)
+		bandElems, ok := mathutil.CheckedMul(band, w)
+		if !ok {
+			panic("gpusim: band buffer overflows int")
+		}
+		saved := make([]uint64, bandElems)
 		for r := 0; r < band; r++ {
 			copy(saved[r*w:r*w+w], data[r*n+j0:r*n+j0+w])
 		}

@@ -9,7 +9,11 @@
 // their own flat indexing.
 package layout
 
-import "fmt"
+import (
+	"fmt"
+
+	"inplace/internal/mathutil"
+)
 
 // Order identifies the linearization of a two-dimensional array.
 type Order int
@@ -89,7 +93,13 @@ type Shape struct {
 func (s Shape) Valid() bool { return s.Rows > 0 && s.Cols > 0 }
 
 // Len returns the number of elements, Rows*Cols.
-func (s Shape) Len() int { return s.Rows * s.Cols }
+func (s Shape) Len() int {
+	n, ok := mathutil.CheckedMul(s.Rows, s.Cols)
+	if !ok {
+		panic(fmt.Sprintf("layout: shape %v overflows int", s))
+	}
+	return n
+}
 
 // Transposed returns the shape with dimensions swapped.
 func (s Shape) Transposed() Shape { return Shape{Rows: s.Cols, Cols: s.Rows} }

@@ -1,0 +1,125 @@
+package mathutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// edgeDivisors spans the divisor range the modreduce analyzer's suggested
+// Divider replacements must be proven equivalent over: 1, powers of two up
+// to 2^31, power-of-two neighbours (the worst cases for the multiply-high
+// reciprocal), and math.MaxInt32-adjacent values.
+func edgeDivisors() []int {
+	ds := []int{1, 2, 3, 5, 6, 7, 9, 10, 11, 63, 64, 65, 1000, 1 << 16, 1<<16 + 1, 1<<16 - 1}
+	for sh := 17; sh <= 31; sh++ {
+		ds = append(ds, 1<<sh-1, 1<<sh, 1<<sh+1)
+	}
+	ds = append(ds, math.MaxInt32-2, math.MaxInt32-1, math.MaxInt32, math.MaxInt32+1, math.MaxInt32+2)
+	return ds
+}
+
+// edgeDividends returns the dividend edge set for divisor d across the
+// full uint32 range: values around 0, d, multiples of d, and the uint32
+// boundary.
+func edgeDividends(d int) []int {
+	xs := []int{0, 1, 2, d - 1, d, d + 1, 2*d - 1, 2 * d, 2*d + 1,
+		math.MaxInt32 - 1, math.MaxInt32, math.MaxInt32 + 1,
+		1<<32 - 2, 1<<32 - 1, 1 << 32}
+	if half := d / 2; half > 0 {
+		xs = append(xs, half-1, half, half+1)
+	}
+	out := xs[:0]
+	for _, x := range xs {
+		if x >= 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestDividerUint32EdgeRange(t *testing.T) {
+	for _, d := range edgeDivisors() {
+		v := NewDivider(d)
+		if v.D() != d {
+			t.Fatalf("NewDivider(%d).D() = %d", d, v.D())
+		}
+		for _, x := range edgeDividends(d) {
+			if got, want := v.Div(x), x/d; got != want {
+				t.Fatalf("Divider(%d).Div(%d) = %d, want %d", d, x, got, want)
+			}
+			if got, want := v.Mod(x), x%d; got != want {
+				t.Fatalf("Divider(%d).Mod(%d) = %d, want %d", d, x, got, want)
+			}
+			q, r := v.DivMod(x)
+			if q != x/d || r != x%d {
+				t.Fatalf("Divider(%d).DivMod(%d) = (%d,%d), want (%d,%d)", d, x, q, r, x/d, x%d)
+			}
+		}
+	}
+}
+
+func TestDividerUint32RandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1ea7))
+	for _, d := range edgeDivisors() {
+		v := NewDivider(d)
+		for i := 0; i < 2000; i++ {
+			x := int(rng.Uint64() & math.MaxUint32)
+			if v.Div(x) != x/d || v.Mod(x) != x%d {
+				t.Fatalf("Divider(%d) disagrees with hardware at x=%d: (%d,%d) want (%d,%d)",
+					d, x, v.Div(x), v.Mod(x), x/d, x%d)
+			}
+		}
+	}
+}
+
+func TestDividerSMod(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 7, 64, 1000, math.MaxInt32} {
+		v := NewDivider(d)
+		xs := []int{0, 1, d - 1, d, d + 1, -1, -d + 1, -d, -d - 1, -2*d - 3,
+			math.MaxInt32, -math.MaxInt32, 1<<40 + 7, -(1<<40 + 7)}
+		for _, x := range xs {
+			want := ((x % d) + d) % d
+			if got := v.SMod(x); got != want {
+				t.Fatalf("Divider(%d).SMod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		d := 1 + rng.Intn(1<<20)
+		x := rng.Int() - rng.Int()
+		want := ((x % d) + d) % d
+		if got := NewDivider(d).SMod(x); got != want {
+			t.Fatalf("Divider(%d).SMod(%d) = %d, want %d", d, x, got, want)
+		}
+	}
+}
+
+func TestCheckedMul(t *testing.T) {
+	cases := []struct {
+		a, b, want int
+		ok         bool
+	}{
+		{0, 0, 0, true},
+		{0, math.MaxInt, 0, true},
+		{math.MaxInt, 0, 0, true},
+		{1, math.MaxInt, math.MaxInt, true},
+		{math.MaxInt, 1, math.MaxInt, true},
+		{2, math.MaxInt/2 + 1, 0, false},
+		{math.MaxInt/2 + 1, 2, 0, false},
+		{2, math.MaxInt / 2, math.MaxInt - 1, true},
+		{3, math.MaxInt / 3, math.MaxInt / 3 * 3, true},
+		{1 << 31, 1 << 31, 1 << 62, true},
+		{1 << 32, 1 << 31, 0, false},
+		{-1, 4, 0, false},
+		{4, -1, 0, false},
+		{math.MaxInt, math.MaxInt, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := CheckedMul(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("CheckedMul(%d,%d) = (%d,%v), want (%d,%v)", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -135,3 +135,37 @@ func (v Divider) PosMod(x int) int {
 	}
 	return x + int(v.d)
 }
+
+// SMod returns the floor modulus x mod d in [0, d) for any int x,
+// including negative x of arbitrary magnitude. It is the strength-reduced
+// replacement for the `((x % d) + d) % d` normalization idiom that the
+// rotation-amount paths use on raw amounts.
+func (v Divider) SMod(x int) int {
+	if x >= 0 {
+		return v.Mod(x)
+	}
+	r := v.Mod(-x)
+	if r == 0 {
+		return 0
+	}
+	return int(v.d) - r
+}
+
+// CheckedMul returns a*b and reports whether the product of two
+// non-negative operands fits in int without overflow. It is the guard the
+// public validation paths use before trusting rows*cols-shaped index
+// algebra; negative operands report ok = false, as no shape or length is
+// ever negative.
+func CheckedMul(a, b int) (int, bool) {
+	if a < 0 || b < 0 {
+		return 0, false
+	}
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}

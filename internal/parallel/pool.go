@@ -36,6 +36,7 @@ func NewPool(workers int) *Pool {
 		// Oversized buffer: ForBounds dispatches at most Workers(w)
 		// chunks per call, and concurrent callers that overflow the
 		// buffer run their chunks inline instead of blocking.
+		//xpose:allow indexoverflow -- workers is clamped to GOMAXPROCS by Workers
 		tasks: make(chan poolTask, 4*workers),
 	}
 	for i := 0; i < workers; i++ {

@@ -12,10 +12,13 @@ import "inplace/internal/mathutil"
 // sequence with base = firstColumn, stride = n, count = m, and rotating it
 // by the group's common amount moves cache-line-wide sub-rows instead of
 // single strided elements.
+//
+//xpose:hotpath
 func RotateChunksStrided[T any](x []T, base, stride, w, count, r int, spare []T) {
 	if count == 0 || w == 0 {
 		return
 	}
+	checkStridedBounds(len(x), base, stride, w, count)
 	if len(spare) < w {
 		panic("perm: RotateChunksStrided spare buffer too small")
 	}
@@ -56,10 +59,13 @@ func RotateChunksStrided[T any](x []T, base, stride, w, count, r int, spare []T)
 // This is the cache-aware row permute of §4.7: all rows are permuted
 // identically by q, so one set of cycle descriptors drives whole-sub-row
 // moves for every column group.
+//
+//xpose:hotpath
 func GatherChunksStrided[T any](x []T, base, stride, w int, p P, leaders, lengths []int, spare []T) {
 	if w == 0 {
 		return
 	}
+	checkStridedBounds(len(x), base, stride, w, len(p))
 	if len(spare) < w {
 		panic("perm: GatherChunksStrided spare buffer too small")
 	}

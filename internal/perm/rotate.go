@@ -102,14 +102,37 @@ func RotateCycles[T any](x []T, r int) {
 	}
 }
 
+// checkStridedBounds panics unless the strided geometry — w-element
+// chunks at base, base+stride, ..., base+(count-1)*stride — stays within
+// a buffer of n elements. The span product is overflow-checked, so the
+// index algebra of the strided kernels can never wrap: this is the
+// dominating guard the indexoverflow analyzer requires of the package's
+// exported kernels.
+func checkStridedBounds(n, base, stride, w, count int) {
+	if count == 0 || w == 0 {
+		return
+	}
+	if base < 0 || stride < 1 || w < 0 || count < 0 {
+		panic("perm: invalid strided geometry")
+	}
+	span, ok := mathutil.CheckedMul(count-1, stride)
+	// base + span + w <= n, rearranged so no intermediate can overflow.
+	if !ok || span > n-w-base {
+		panic("perm: strided geometry exceeds buffer")
+	}
+}
+
 // RotateStrided rotates the strided vector x[off], x[off+stride], ...
 // (count elements) up by r places in place via analytic cycles. It is the
 // column-rotation primitive for row-major arrays, where column j of an
 // m×n matrix is the stride-n vector starting at offset j.
+//
+//xpose:hotpath
 func RotateStrided[T any](x []T, off, stride, count, r int) {
 	if count == 0 {
 		return
 	}
+	checkStridedBounds(len(x), off, stride, 1, count)
 	r %= count
 	if r < 0 {
 		r += count
@@ -143,7 +166,8 @@ func RotateChunks[T any](x []T, w, count, r int, spare []T) {
 	if count == 0 || w == 0 {
 		return
 	}
-	if len(x) < w*count {
+	wc, ok := mathutil.CheckedMul(w, count)
+	if !ok || len(x) < wc {
 		panic("perm: RotateChunks buffer too small")
 	}
 	if len(spare) < w {

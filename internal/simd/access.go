@@ -2,6 +2,7 @@ package simd
 
 import (
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/memsim"
 )
 
@@ -49,13 +50,17 @@ func (k AccessKind) String() string {
 // CoalescedLoad loads idx[l]'s structure into lane l via coalesced row
 // passes followed by the in-register R2C transpose. idx must have W
 // entries; data is a word-addressed AoS buffer of K-word structures.
+//
+//xpose:hotpath
 func CoalescedLoad(w *Warp, p *cr.Plan, data []uint64, idx []int) {
 	K, W := w.K, w.W
+	divK := mathutil.NewDivider(K)
 	for r := 0; r < K; r++ {
 		base := r * W
 		w.LoadRow(r, data, func(l int) int {
 			v := base + l // virtual word within the warp's working set
-			return idx[v/K]*K + v%K
+			q, rem := divK.DivMod(v)
+			return idx[q]*K + rem
 		})
 		w.mem.ALU(1) // index exchange shuffle for this pass
 	}
@@ -64,14 +69,18 @@ func CoalescedLoad(w *Warp, p *cr.Plan, data []uint64, idx []int) {
 
 // CoalescedStore stores lane l's structure to idx[l] via the in-register
 // C2R transpose followed by coalesced row passes.
+//
+//xpose:hotpath
 func CoalescedStore(w *Warp, p *cr.Plan, data []uint64, idx []int) {
 	K, W := w.K, w.W
+	divK := mathutil.NewDivider(K)
 	C2RRegisters(w, p)
 	for r := 0; r < K; r++ {
 		base := r * W
 		w.StoreRow(r, data, func(l int) int {
 			v := base + l
-			return idx[v/K]*K + v%K
+			q, rem := divK.DivMod(v)
+			return idx[q]*K + rem
 		})
 		w.mem.ALU(1)
 	}

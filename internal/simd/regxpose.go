@@ -21,6 +21,8 @@ const shflIdxCost = 2
 // array: afterwards the array holds its C2R permutation, i.e. lane-held
 // structures become the coalesced row layout. Pass the plan from PlanFor
 // (cacheable across calls, as the dimensions are static per §6.2.4).
+//
+//xpose:hotpath
 func C2RRegisters(w *Warp, p *cr.Plan) {
 	if p.M != w.K || p.N != w.W {
 		panic("simd: plan does not match warp shape")
@@ -39,6 +41,8 @@ func C2RRegisters(w *Warp, p *cr.Plan) {
 // R2CRegisters performs the in-place R2C transpose of the register
 // array, the inverse of C2RRegisters: a coalesced row layout becomes
 // lane-held structures.
+//
+//xpose:hotpath
 func R2CRegisters(w *Warp, p *cr.Plan) {
 	if p.M != w.K || p.N != w.W {
 		panic("simd: plan does not match warp shape")

@@ -25,6 +25,7 @@ import (
 
 	"inplace/internal/core"
 	"inplace/internal/cr"
+	"inplace/internal/mathutil"
 	"inplace/internal/parallel"
 	"inplace/internal/stats"
 )
@@ -122,6 +123,10 @@ func TuneFor[T any](rows, cols int, cfg Config) (Decision, error) {
 	if rows <= 0 || cols <= 0 {
 		return Decision{}, fmt.Errorf("tune: rows and cols must be positive (got %dx%d)", rows, cols)
 	}
+	size, ok := mathutil.CheckedMul(rows, cols)
+	if !ok {
+		return Decision{}, fmt.Errorf("tune: rows*cols overflows int (got %dx%d)", rows, cols)
+	}
 	cfg = cfg.withDefaults()
 	budget := parallel.Workers(cfg.MaxWorkers)
 
@@ -137,7 +142,7 @@ func TuneFor[T any](rows, cols int, cfg Config) (Decision, error) {
 		costs:   make(map[Candidate]float64),
 	}
 	if cfg.Cost == nil {
-		m.data = make([]T, rows*cols)
+		m.data = make([]T, size)
 	}
 
 	// Stage 1: direction × pipeline at full budget. The heuristic's own

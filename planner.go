@@ -1,7 +1,6 @@
 package inplace
 
 import (
-	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -59,9 +58,11 @@ func newPlanner[T any](p *Plan) *Planner[T] {
 // Execute transposes data in place according to the plan. data must
 // hold Rows()*Cols() elements; afterwards it holds the transposed
 // array (cols×rows in the plan's order convention).
+//
+//xpose:hotpath
 func (pl *Planner[T]) Execute(data []T) error {
-	if len(data) != pl.p.rows*pl.p.cols {
-		return fmt.Errorf("%w (len %d, want %d)", ErrLength, len(data), pl.p.rows*pl.p.cols)
+	if len(data) != pl.p.size {
+		return lengthErr(len(data), pl.p.size)
 	}
 	if pl.p.useC2R {
 		pl.eng.C2R(data)
