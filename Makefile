@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet lint vuln build test race fuzz bench tune-smoke clean
+.PHONY: ci vet lint vuln build test race fuzz bench tune-smoke ooc-smoke clean
 
 # ci is the full gate: static checks (vet plus the xposelint suite),
 # build, tests, the race detector (short mode keeps the race shapes
-# small), a capped autotuner run, and a best-effort vulnerability scan.
-ci: vet lint build test race tune-smoke vuln
+# small), a capped autotuner run, an out-of-core round trip on a real
+# temp file, and a best-effort vulnerability scan.
+ci: vet lint build test race tune-smoke ooc-smoke vuln
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +47,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzPlannerReuse$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzAOSRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzWisdomRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tune
+	$(GO) test -fuzz '^FuzzOOCRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/ooc
 
 bench:
 	$(GO) test -bench . -benchmem .
@@ -57,6 +59,13 @@ tune-smoke:
 	mkdir -p results
 	$(GO) run ./cmd/xposetune -shapes 64x48,512x6,32x96 -elem 8 -workers 1 -fast -o results/wisdom-smoke.json
 	$(GO) run ./cmd/xposetune -list results/wisdom-smoke.json
+
+# ooc-smoke round-trips the out-of-core engine on a real temp file,
+# journaled and verified, under the race detector: the xposeooc selftest
+# plus the acceptance tests of the public TransposeFile surface.
+ooc-smoke:
+	$(GO) run ./cmd/xposeooc -selftest -budget 64k
+	$(GO) test -race -run 'TestTransposeFile|TestResumeAfterKill' . ./internal/ooc
 
 clean:
 	$(GO) clean

@@ -112,6 +112,39 @@
 // that will be transposed many times, or batch-tune offline with
 // cmd/xposetune and ship the file.
 //
+// # Out-of-core transposition
+//
+// TransposeFile transposes a matrix stored on any io.ReaderAt+io.WriterAt
+// backend (*os.File included) in place on the backend, under a
+// caller-specified scratch budget — the matrix never needs to fit in
+// memory:
+//
+//	f, _ := os.OpenFile("matrix.bin", os.O_RDWR, 0)
+//	stats, err := inplace.TransposeFile(f, rows, cols, 8, inplace.OOCOptions{
+//	    Budget: 256 << 20,
+//	})
+//
+// The schedule is the same three-pass decomposition lifted from cache
+// blocks to storage segments: every pass touches the buffer along one
+// axis only, so it splits into independent column-slab or row-run
+// panels streamed through a prefetch/transform/write pipeline with
+// write-combined backend spans. The budget floor is
+// 2*max(rows,cols)*elemSize bytes — the decomposition's O(max(m,n))
+// auxiliary bound made literal. Any positive element size is accepted:
+// the engine permutes opaque fixed-size records.
+//
+// With OOCOptions.Journal set, every segment write is preceded by a
+// durable undo image and followed by a checksummed commit record, so an
+// interrupted run re-invoked with Resume converges to the bit-identical
+// result; Verify re-reads the final pass against the committed
+// checksums. Failures wrap the typed sentinels ErrOOCShortRead,
+// ErrOOCShortWrite, ErrOOCCorruptSegment, ErrOOCBudget,
+// ErrOOCJournalMismatch, ErrOOCJournalCorrupt and ErrOOCNoJournal.
+// NewOOCPlanner validates and resolves the schedule once for repeated
+// runs; TuneOOC measures schedule candidates on a temp file and records
+// the winner in the wisdom table, keyed by shape, element size and the
+// budget's binary magnitude. cmd/xposeooc wraps all of it for raw files.
+//
 // # Static analysis
 //
 // The hot-path guarantees above — zero allocation in steady state,

@@ -53,13 +53,14 @@ var Experiments = map[string]func(Config) []Result{
 	"gpusim":    GPUSim,
 	"planreuse": PlanReuse,
 	"tuned":     Tuned,
+	"ooc":       OOC,
 }
 
 // ExperimentOrder lists experiment ids in paper order.
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig3", "table1", "fig4", "fig5",
 	"fig6", "table2", "fig7", "fig8", "fig9", "locality", "gpusim",
-	"planreuse", "tuned",
+	"planreuse", "tuned", "ooc",
 }
 
 // --- Figure 3 / Table 1: CPU in-place transposition throughput ---

@@ -104,6 +104,26 @@ func microCases(workers int) []microCase {
 			},
 		},
 		{
+			// The out-of-core engine on a memory backend under a quarter
+			// budget: schedule, pipeline and panel kernels without disk
+			// noise. The shape alternates each op as the backend flips
+			// orientation.
+			name: "ooc_membacked_256x192_budget_quarter", m: 256, n: 192,
+			prep: func() func() {
+				mf := &memFile{b: make([]byte, 256*192*8)}
+				rows, cols := 256, 192
+				budget := int64(len(mf.b) / 4)
+				return func() {
+					if _, err := inplace.TransposeFile(mf, rows, cols, 8, inplace.OOCOptions{
+						Budget: budget, Workers: 1,
+					}); err != nil {
+						panic(err)
+					}
+					rows, cols = cols, rows
+				}
+			},
+		},
+		{
 			name: "aos_to_soa_200000x4", m: 200000, n: 4,
 			prep: func() func() {
 				data := make([]uint64, 200000*4)

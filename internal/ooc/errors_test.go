@@ -1,0 +1,52 @@
+package ooc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Every cold-path constructor must wrap its sentinel so callers branch
+// with errors.Is, and must carry the diagnostic payload in the message.
+func TestErrorConstructorsWrapSentinels(t *testing.T) {
+	cause := errors.New("backend says no")
+	cases := []struct {
+		err      error
+		sentinel error
+		contains []string
+	}{
+		{shortReadErr(4096, 512, 100, cause), ErrShortRead, []string{"100 of 512", "4096", "backend says no"}},
+		{shortReadErr(0, 8, 0, nil), ErrShortRead, []string{"0 of 8"}},
+		{shortWriteErr(128, 64, 32, cause), ErrShortWrite, []string{"32 of 64", "128", "backend says no"}},
+		{shortWriteErr(128, 64, 0, nil), ErrShortWrite, []string{"0 of 64"}},
+		{corruptSegmentErr(2, 7, 0xdead, 0xbeef), ErrCorruptSegment, []string{"pass 2", "unit 7", "dead", "beef"}},
+		{budgetErr(100, 4096), ErrBudget, []string{"100", "4096"}},
+		{mismatchErr("rows", 64, 128), ErrJournalMismatch, []string{"rows", "64", "128"}},
+		{shapeErr(0, 5, 8), ErrShape, []string{"rows=0", "cols=5"}},
+		{overflowErr(1<<31, 1<<31), ErrOverflow, []string{"rows="}},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v does not wrap %v", c.err, c.sentinel)
+		}
+		for _, want := range c.contains {
+			if !strings.Contains(c.err.Error(), want) {
+				t.Errorf("%q missing %q", c.err.Error(), want)
+			}
+		}
+	}
+}
+
+// The sentinels must be mutually distinct: errors.Is across different
+// sentinels is always false.
+func TestSentinelsDistinct(t *testing.T) {
+	all := []error{ErrShortRead, ErrShortWrite, ErrCorruptSegment, ErrBudget,
+		ErrJournalMismatch, ErrJournalCorrupt, ErrNoJournal, ErrShape, ErrOverflow}
+	for i, a := range all {
+		for j, b := range all {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel identity broken: all[%d] vs all[%d]", i, j)
+			}
+		}
+	}
+}

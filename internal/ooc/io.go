@@ -1,0 +1,61 @@
+package ooc
+
+import "io"
+
+// Retried, metered span I/O against the data backend. The io.ReaderAt /
+// io.WriterAt contracts allow transient short counts only together with
+// an error; the engine re-issues the full span a bounded number of
+// times (Config.Retries) before surfacing the typed failure, so a
+// flaky network or FUSE backend degrades to retries instead of a
+// failed run.
+
+// readFull reads len(p) bytes at off, retrying transient failures.
+func (r *runner) readFull(b Backend, p []byte, off int64) error {
+	var n int
+	var err error
+	for attempt := 0; attempt <= r.cfg.retries(); attempt++ {
+		if attempt > 0 {
+			r.ctr.retries.Inc()
+		}
+		n, err = b.ReadAt(p, off)
+		r.ctr.readOps.Inc()
+		r.ctr.bytesRead.Add(uint64(n))
+		if n == len(p) && (err == nil || err == io.EOF) {
+			return nil
+		}
+	}
+	return shortReadErr(off, len(p), n, err)
+}
+
+// writeFull writes len(p) bytes at off, retrying transient failures.
+func (r *runner) writeFull(b Backend, p []byte, off int64) error {
+	var n int
+	var err error
+	for attempt := 0; attempt <= r.cfg.retries(); attempt++ {
+		if attempt > 0 {
+			r.ctr.retries.Inc()
+		}
+		n, err = b.WriteAt(p, off)
+		r.ctr.writeOps.Inc()
+		r.ctr.bytesWritten.Add(uint64(n))
+		if n == len(p) && err == nil {
+			return nil
+		}
+	}
+	return shortWriteErr(off, len(p), n, err)
+}
+
+// readUnit fills buf with the panel bytes of g, one backend call per
+// combined span.
+func (r *runner) readUnit(g unitGeom, buf []byte) error {
+	return r.sched.spans(g, func(off int64, bufOff, n int) error {
+		return r.readFull(r.data, buf[bufOff:bufOff+n], off)
+	})
+}
+
+// writeUnit writes buf back to the panel's backend spans.
+func (r *runner) writeUnit(g unitGeom, buf []byte) error {
+	return r.sched.spans(g, func(off int64, bufOff, n int) error {
+		return r.writeFull(r.data, buf[bufOff:bufOff+n], off)
+	})
+}

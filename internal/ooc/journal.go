@@ -1,0 +1,281 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"sync"
+	"time"
+)
+
+// The progress journal: an append-only write-ahead log on any Backend.
+// Before a transformed segment overwrites its backend region, the
+// segment's original bytes (the source panel, which the pipeline already
+// holds) are appended as an undo image; after the data write completes,
+// a commit record with the transformed segment's CRC64 is appended.
+// Pass boundaries get their own records. A crash therefore leaves the
+// journal in one of three states per segment — untouched (re-execute),
+// intent-only (roll back the undo image, then re-execute), or committed
+// (skip) — and every state resumes to the identical final matrix.
+//
+// Torn trailing records are the expected shape of a crash: scanning
+// stops at the first record whose header or payload checksum fails, or
+// whose run identifier belongs to an older journal generation, and
+// everything after is treated as never written.
+
+const (
+	journalMagic   = "XOOCJv1\n"
+	journalVersion = 1
+	headerSize     = 64
+	recHeaderSize  = 48
+)
+
+// Record kinds. Stable on-disk values.
+const (
+	recIntent   = 1 // payload: undo image of the segment's panel bytes
+	recCommit   = 2 // payload: 8-byte CRC64 of the transformed panel
+	recPassDone = 3 // payload: empty
+)
+
+var crcTab = crc64.MakeTable(crc64.ECMA)
+
+// journal is an open journal with an append cursor. Appends are
+// serialized by the pipeline's writer stage; the mutex guards against
+// misuse if that ever changes.
+type journal struct {
+	b     Backend
+	ctr   *counters
+	runID uint64
+	end   int64
+	mu    sync.Mutex
+}
+
+// journalGeom is the schedule fingerprint persisted in the header; a
+// resume must match it exactly or the unit boundaries would shift.
+type journalGeom struct {
+	rows, cols, elem int
+	c2r              bool
+	vw, hh           int
+	passes           int
+}
+
+func (s *schedule) geom(rows, cols int) journalGeom {
+	return journalGeom{rows: rows, cols: cols, elem: s.elem, c2r: s.c2r, vw: s.vw, hh: s.hh, passes: len(s.passes)}
+}
+
+// resumeState is what a journal scan recovers: how many passes are
+// fully done, which units of the in-flight pass committed, the pending
+// intents to roll back, and the per-unit checksums of the final pass
+// (for Verify).
+type resumeState struct {
+	donePasses int
+	committed  map[int]bool   // units of pass donePasses with commit records
+	intents    map[int]intent // units of pass donePasses with intent but no commit
+	finalSums  map[int]uint64 // unit -> CRC64, final pass only
+}
+
+type intent struct {
+	payloadOff int64
+	payloadLen int64
+}
+
+// newJournal starts a fresh journal generation on b: writes a new
+// header (invalidating any previous generation's records via the run
+// identifier) and returns the append-ready journal.
+func newJournal(b Backend, g journalGeom, ctr *counters) (*journal, error) {
+	j := &journal{b: b, ctr: ctr, runID: uint64(time.Now().UnixNano()), end: headerSize}
+	var h [headerSize]byte
+	copy(h[0:8], journalMagic)
+	binary.LittleEndian.PutUint32(h[8:12], journalVersion)
+	binary.LittleEndian.PutUint32(h[12:16], uint32(g.elem))
+	binary.LittleEndian.PutUint64(h[16:24], uint64(g.rows))
+	binary.LittleEndian.PutUint64(h[24:32], uint64(g.cols))
+	var flags uint64
+	if g.c2r {
+		flags = 1
+	}
+	flags |= uint64(g.passes) << 8
+	binary.LittleEndian.PutUint64(h[32:40], flags)
+	binary.LittleEndian.PutUint64(h[40:48], uint64(g.vw)<<32|uint64(g.hh))
+	binary.LittleEndian.PutUint64(h[48:56], j.runID)
+	binary.LittleEndian.PutUint64(h[56:64], crc64.Checksum(h[0:56], crcTab))
+	if _, err := b.WriteAt(h[:], 0); err != nil {
+		return nil, fmt.Errorf("ooc: writing journal header: %w", err)
+	}
+	ctr.journalBytes.Add(headerSize)
+	// Drop any stale generation's tail when the backend supports it;
+	// the run identifier protects correctness either way.
+	if t, ok := b.(interface{ Truncate(int64) error }); ok {
+		_ = t.Truncate(headerSize)
+	}
+	j.syncJournal()
+	return j, nil
+}
+
+// openJournal validates an existing journal against the expected
+// geometry and scans it into a resumeState.
+func openJournal(b Backend, g journalGeom, finalPass int, ctr *counters) (*journal, *resumeState, error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(io.NewSectionReader(b, 0, headerSize), h[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: unreadable header: %v", ErrJournalCorrupt, err)
+	}
+	if string(h[0:8]) != journalMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrJournalCorrupt)
+	}
+	if got := binary.LittleEndian.Uint64(h[56:64]); got != crc64.Checksum(h[0:56], crcTab) {
+		return nil, nil, fmt.Errorf("%w: header checksum mismatch", ErrJournalCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(h[8:12]); v != journalVersion {
+		return nil, nil, fmt.Errorf("%w: version %d, want %d", ErrJournalCorrupt, v, journalVersion)
+	}
+	check := func(field string, got, want int64) error {
+		if got != want {
+			return mismatchErr(field, got, want)
+		}
+		return nil
+	}
+	flags := binary.LittleEndian.Uint64(h[32:40])
+	vwhh := binary.LittleEndian.Uint64(h[40:48])
+	jc2r := flags&1 != 0
+	for _, c := range []struct {
+		field     string
+		got, want int64
+	}{
+		{"elem_size", int64(binary.LittleEndian.Uint32(h[12:16])), int64(g.elem)},
+		{"rows", int64(binary.LittleEndian.Uint64(h[16:24])), int64(g.rows)},
+		{"cols", int64(binary.LittleEndian.Uint64(h[24:32])), int64(g.cols)},
+		{"passes", int64(flags >> 8), int64(g.passes)},
+		{"segment_cols", int64(vwhh >> 32), int64(g.vw)},
+		{"segment_rows", int64(vwhh & 0xffffffff), int64(g.hh)},
+	} {
+		if err := check(c.field, c.got, c.want); err != nil {
+			return nil, nil, err
+		}
+	}
+	if jc2r != g.c2r {
+		return nil, nil, fmt.Errorf("%w: direction differs", ErrJournalMismatch)
+	}
+
+	j := &journal{b: b, ctr: ctr, runID: binary.LittleEndian.Uint64(h[48:56]), end: headerSize}
+	st := &resumeState{committed: map[int]bool{}, intents: map[int]intent{}, finalSums: map[int]uint64{}}
+	var rh [recHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(io.NewSectionReader(b, j.end, recHeaderSize), rh[:]); err != nil {
+			break // torn or absent record: logical end of journal
+		}
+		if binary.LittleEndian.Uint64(rh[40:48]) != crc64.Checksum(rh[0:40], crcTab) {
+			break
+		}
+		if binary.LittleEndian.Uint64(rh[32:40]) != j.runID {
+			break // stale generation
+		}
+		kind := rh[0]
+		pass := int(binary.LittleEndian.Uint32(rh[4:8]))
+		unit := int(binary.LittleEndian.Uint64(rh[8:16]))
+		plen := int64(binary.LittleEndian.Uint64(rh[16:24]))
+		psum := binary.LittleEndian.Uint64(rh[24:32])
+		payloadOff := j.end + recHeaderSize
+		if plen > 0 {
+			sum, err := checksumRange(b, payloadOff, plen)
+			if err != nil || sum != psum {
+				break // torn payload
+			}
+		}
+		switch kind {
+		case recPassDone:
+			if pass == st.donePasses {
+				st.donePasses++
+				st.committed = map[int]bool{}
+				st.intents = map[int]intent{}
+			}
+		case recIntent:
+			if pass == st.donePasses {
+				st.intents[unit] = intent{payloadOff: payloadOff, payloadLen: plen}
+			}
+		case recCommit:
+			if pass == st.donePasses {
+				st.committed[unit] = true
+				delete(st.intents, unit)
+			}
+			if pass == finalPass {
+				var sb [8]byte
+				if _, err := io.ReadFull(io.NewSectionReader(b, payloadOff, 8), sb[:]); err == nil {
+					st.finalSums[unit] = binary.LittleEndian.Uint64(sb[:])
+				}
+			}
+		}
+		j.end = payloadOff + plen
+	}
+	return j, st, nil
+}
+
+// checksumRange computes the CRC64 of a byte range of the journal
+// backend without holding it resident.
+func checksumRange(b io.ReaderAt, off, n int64) (uint64, error) {
+	h := crc64.New(crcTab)
+	if _, err := io.Copy(h, io.NewSectionReader(b, off, n)); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
+// append writes one record (header plus payload) at the cursor.
+func (j *journal) append(kind byte, pass, unit int, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var rh [recHeaderSize]byte
+	rh[0] = kind
+	binary.LittleEndian.PutUint32(rh[4:8], uint32(pass))
+	binary.LittleEndian.PutUint64(rh[8:16], uint64(unit))
+	binary.LittleEndian.PutUint64(rh[16:24], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(rh[24:32], crc64.Checksum(payload, crcTab))
+	binary.LittleEndian.PutUint64(rh[32:40], j.runID)
+	binary.LittleEndian.PutUint64(rh[40:48], crc64.Checksum(rh[0:40], crcTab))
+	if _, err := j.b.WriteAt(rh[:], j.end); err != nil {
+		return fmt.Errorf("ooc: journal append: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := j.b.WriteAt(payload, j.end+recHeaderSize); err != nil {
+			return fmt.Errorf("ooc: journal append: %w", err)
+		}
+	}
+	j.end += recHeaderSize + int64(len(payload))
+	j.ctr.journalBytes.Add(uint64(recHeaderSize + len(payload)))
+	return nil
+}
+
+// intent appends the undo image for a segment and makes it durable: the
+// undo must reach the journal before the data region is overwritten.
+func (j *journal) intent(pass, unit int, undo []byte) error {
+	if err := j.append(recIntent, pass, unit, undo); err != nil {
+		return err
+	}
+	j.syncJournal()
+	return nil
+}
+
+// commit appends the post-write record carrying the transformed
+// segment's checksum.
+func (j *journal) commit(pass, unit int, sum uint64) error {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], sum)
+	return j.append(recCommit, pass, unit, p[:])
+}
+
+// passDone appends the pass barrier record and makes the whole pass
+// durable.
+func (j *journal) passDone(pass int) error {
+	if err := j.append(recPassDone, pass, 0, nil); err != nil {
+		return err
+	}
+	j.syncJournal()
+	return nil
+}
+
+// syncJournal flushes the journal backend when it supports it.
+func (j *journal) syncJournal() {
+	if s, ok := j.b.(syncer); ok {
+		_ = s.Sync()
+	}
+}

@@ -1,0 +1,161 @@
+package ooc
+
+// The panel gather kernels. Each pass of the out-of-core schedule is a
+// pure gather from a resident source panel into a resident destination
+// panel — never in place — so the pipeline can overlap the backend I/O
+// of neighbouring segments with the transform, and the source panel
+// doubles as the journal's undo image for free.
+//
+// The kernels operate on raw bytes with a runtime element size, because
+// the backend is untyped storage; the element size is invariant across
+// the run, so each kernel carries a specialized inner loop for the
+// dominant 8-byte case (the compiler turns the constant-length copy
+// into a single load/store pair) and a generic loop for everything
+// else. All index algebra comes from the cr.Plan the schedule resolved,
+// including its strength-reduced dividers.
+
+// rotPanel applies a per-column rotation gather to panel columns
+// [lo, hi): dst column j becomes src column j shifted down by the
+// pass's rotation amount, modulo m (Equations 23, 32, 35 and 36,
+// depending on op). g is the panel geometry; the panel is row-packed
+// with g.ext columns per row.
+//
+//xpose:hotpath
+func (s *schedule) rotPanel(dst, src []byte, g unitGeom, op passOp, lo, hi int) {
+	m, w, e := s.m, g.ext, s.elem
+	divM := s.plan.DivM()
+	for jj := lo; jj < hi; jj++ {
+		j := g.lo + jj
+		var amt int
+		switch op {
+		case opRotPre:
+			amt = s.plan.Rot(j)
+		case opRotNegPre:
+			amt = -s.plan.Rot(j)
+		case opRotID:
+			amt = j
+		default: // opRotNegID
+			amt = -j
+		}
+		r := divM.SMod(amt)
+		if r == 0 {
+			// Unrotated column: straight copy.
+			if e == 8 {
+				for i := 0; i < m; i++ {
+					o := (i*w + jj) * 8
+					copy(dst[o:o+8], src[o:o+8])
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					o := (i*w + jj) * e
+					copy(dst[o:o+e], src[o:o+e])
+				}
+			}
+			continue
+		}
+		if e == 8 {
+			for i := 0; i < m; i++ {
+				si := i + r
+				if si >= m {
+					si -= m
+				}
+				do := (i*w + jj) * 8
+				so := (si*w + jj) * 8
+				copy(dst[do:do+8], src[so:so+8])
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				si := i + r
+				if si >= m {
+					si -= m
+				}
+				do := (i*w + jj) * e
+				so := (si*w + jj) * e
+				copy(dst[do:do+e], src[so:so+e])
+			}
+		}
+	}
+}
+
+// permPanel applies the shared row permutation to panel rows [lo, hi):
+// dst row i is src row q(i) (opPermQ, Equation 33) or q⁻¹(i)
+// (opPermQInv, Equation 34). Because the permutation is identical for
+// every column, a panel of any width permutes independently — this is
+// the §4.7 whole-sub-row row permute with the sub-row width set to the
+// segment width.
+//
+//xpose:hotpath
+func (s *schedule) permPanel(dst, src []byte, g unitGeom, op passOp, lo, hi int) {
+	rb := g.ext * s.elem
+	if op == opPermQ {
+		for i := lo; i < hi; i++ {
+			qi := s.plan.Q(i)
+			copy(dst[i*rb:(i+1)*rb], src[qi*rb:qi*rb+rb])
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		qi := s.plan.QInv(i)
+		copy(dst[i*rb:(i+1)*rb], src[qi*rb:qi*rb+rb])
+	}
+}
+
+// shufflePanel applies the row shuffle to panel rows [lo, hi): each
+// resident row (global row index g.lo+ii) is gathered through the
+// closed-form inverse d'^{-1} for C2R (opShuffleC2R, Equation 31) or
+// through d' for R2C (opShuffleR2C, Equation 24). Horizontal panels
+// hold g.ext full rows of n elements.
+//
+//xpose:hotpath
+func (s *schedule) shufflePanel(dst, src []byte, g unitGeom, op passOp, lo, hi int) {
+	n, e := s.n, s.elem
+	c2r := op == opShuffleC2R
+	for ii := lo; ii < hi; ii++ {
+		gi := g.lo + ii
+		rowOff := ii * n
+		if e == 8 {
+			for j := 0; j < n; j++ {
+				var sj int
+				if c2r {
+					sj = s.plan.DPrimeInv(gi, j)
+				} else {
+					sj = s.plan.DPrime(gi, j)
+				}
+				do := (rowOff + j) * 8
+				so := (rowOff + sj) * 8
+				copy(dst[do:do+8], src[so:so+8])
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				var sj int
+				if c2r {
+					sj = s.plan.DPrimeInv(gi, j)
+				} else {
+					sj = s.plan.DPrime(gi, j)
+				}
+				do := (rowOff + j) * e
+				so := (rowOff + sj) * e
+				copy(dst[do:do+e], src[so:so+e])
+			}
+		}
+	}
+}
+
+// transform runs the pass's gather for one resident panel, splitting
+// the independent dimension (columns for rotations, rows for the row
+// permute and the row shuffle) across the worker pool.
+func (s *schedule) transform(p pass, g unitGeom, dst, src []byte, pf parallelFor) {
+	switch p.op {
+	case opRotPre, opRotNegPre, opRotID, opRotNegID:
+		pf(g.ext, func(lo, hi int) { s.rotPanel(dst, src, g, p.op, lo, hi) })
+	case opPermQ, opPermQInv:
+		pf(s.m, func(lo, hi int) { s.permPanel(dst, src, g, p.op, lo, hi) })
+	default: // opShuffleC2R, opShuffleR2C
+		pf(g.ext, func(lo, hi int) { s.shufflePanel(dst, src, g, p.op, lo, hi) })
+	}
+}
+
+// parallelFor splits [0, n) across workers and blocks until every chunk
+// ran. The runner provides either an inline implementation (one worker)
+// or a dispatch onto the shared persistent pool.
+type parallelFor func(n int, body func(lo, hi int))

@@ -1,0 +1,313 @@
+// Package ooc transposes row-major matrices that live on storage rather
+// than in memory: any io.ReaderAt+io.WriterAt backend, under a caller-
+// specified scratch-memory budget.
+//
+// The engine is the paper's three-pass C2R/R2C decomposition lifted
+// from cache blocks to storage segments. Every pass of the in-memory
+// cache-aware pipeline — column pre-rotation, row shuffle, the column
+// shuffle factored into a column rotation and a shared row permutation
+// (Equations 23–35) — touches the flat buffer along only one axis, so
+// each becomes a schedule of independent panels: vertical panels
+// (full-height column slabs) for the rotation and row-permute passes,
+// horizontal panels (runs of full rows) for the row shuffle. Theorem 7's
+// linearization independence is what makes the segment boundaries
+// arbitrary: the permutation algebra never couples two panels of the
+// same pass. A panel of minimum width is one full column or one full
+// row, so the budget floor is 2·max(m,n) elements — the decomposition's
+// O(max(m,n)) auxiliary bound, made literal as a hard memory ceiling.
+//
+// Each pass runs as a three-stage pipeline: an async prefetch reader
+// fills source panels, transform workers gather them into destination
+// panels on the process-wide worker pool, and a double-buffered writer
+// puts panels back with adjacent spans combined into single backend
+// calls. With an optional journal, every segment write is preceded by a
+// durable undo image and followed by a checksummed commit record, so a
+// run killed at any point resumes to the bit-identical result.
+package ooc
+
+import (
+	"fmt"
+	"hash/crc64"
+	"sync"
+
+	"inplace/internal/arena"
+	"inplace/internal/parallel"
+)
+
+// Run transposes the row-major cfg.Rows×cfg.Cols matrix of
+// cfg.ElemSize-byte elements stored on data, in place on the backend,
+// within cfg.Budget bytes of resident scratch. Afterwards data holds
+// the row-major Cols×Rows transpose.
+func Run(data Backend, cfg Config) (Stats, error) {
+	sched, err := newSchedule(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	if cfg.Journal == nil && (cfg.Resume || cfg.Verify) {
+		return Stats{}, fmt.Errorf("%w (resume=%v verify=%v)", ErrNoJournal, cfg.Resume, cfg.Verify)
+	}
+	if sched.identity {
+		// 1×n and m×1 matrices transpose to themselves linearly.
+		return Stats{}, nil
+	}
+
+	r := &runner{cfg: cfg, sched: sched, data: data}
+	r.pf = func(n int, body func(lo, hi int)) { body(0, n) }
+	if sched.workers > 1 {
+		pool := parallel.Shared()
+		workers := sched.workers
+		r.pf = func(n int, body func(lo, hi int)) {
+			pool.For(n, workers, func(_, lo, hi int) { body(lo, hi) })
+		}
+	}
+
+	// The buffer ring: one source/destination pair per in-flight
+	// segment. This plus per-pass bookkeeping is the engine's entire
+	// resident footprint.
+	bufs := arena.Slab[byte](2*sched.depth, int(sched.unitBytes))
+	r.pairs = make(chan *pair, sched.depth)
+	for i := 0; i < sched.depth; i++ {
+		r.pairs <- &pair{src: bufs[2*i], dst: bufs[2*i+1]}
+	}
+	r.ctr.peakResident.Observe(uint64(2*sched.depth) * uint64(sched.unitBytes))
+
+	st := &resumeState{committed: map[int]bool{}, intents: map[int]intent{}, finalSums: map[int]uint64{}}
+	finalPass := len(sched.passes) - 1
+	if cfg.Journal != nil {
+		g := sched.geom(cfg.Rows, cfg.Cols)
+		if cfg.Resume {
+			r.jrn, st, err = openJournal(cfg.Journal, g, finalPass, &r.ctr)
+		} else {
+			r.jrn, err = newJournal(cfg.Journal, g, &r.ctr)
+		}
+		if err != nil {
+			return r.ctr.snapshot(0), err
+		}
+	}
+
+	if len(st.intents) > 0 {
+		if err := r.restoreIntents(sched.passes[st.donePasses], st); err != nil {
+			return r.ctr.snapshot(0), err
+		}
+	}
+
+	sums := st.finalSums
+	for pi := st.donePasses; pi < len(sched.passes); pi++ {
+		var skip map[int]bool
+		if pi == st.donePasses {
+			skip = st.committed
+		}
+		var passSums map[int]uint64
+		if pi == finalPass && r.jrn != nil {
+			passSums = sums
+		}
+		if err := r.runPass(pi, sched.passes[pi], skip, passSums); err != nil {
+			return r.ctr.snapshot(pi), err
+		}
+		if r.jrn != nil {
+			if s, ok := r.data.(syncer); ok {
+				_ = s.Sync()
+			}
+			if err := r.jrn.passDone(pi); err != nil {
+				return r.ctr.snapshot(pi), err
+			}
+		}
+	}
+
+	if cfg.Verify {
+		if err := r.verifyFinal(sched.passes[finalPass], sums); err != nil {
+			return r.ctr.snapshot(len(sched.passes)), err
+		}
+	}
+	return r.ctr.snapshot(len(sched.passes)), nil
+}
+
+// runner is the per-run execution state.
+type runner struct {
+	cfg   Config
+	sched *schedule
+	data  Backend
+	jrn   *journal
+	ctr   counters
+	pairs chan *pair
+	pf    parallelFor
+}
+
+// pair is one in-flight segment's buffers: the prefetched source panel
+// (which doubles as the journal undo image) and the gathered
+// destination panel.
+type pair struct {
+	src, dst []byte
+}
+
+// work is one segment moving through the pipeline.
+type work struct {
+	u  int
+	g  unitGeom
+	pr *pair
+}
+
+// runPass executes one pass's segment schedule through the three-stage
+// pipeline. skip marks units the journal proved committed; sums, when
+// non-nil, collects the per-unit checksums of the final pass.
+func (r *runner) runPass(pi int, p pass, skip map[int]bool, sums map[int]uint64) error {
+	toT := make(chan *work, r.sched.depth)
+	toW := make(chan *work, r.sched.depth)
+	done := make(chan struct{})
+	var failErr error
+	var failOnce sync.Once
+	fail := func(err error) {
+		// First failure wins; closing done stops the producer.
+		failOnce.Do(func() {
+			failErr = err
+			close(done)
+		})
+	}
+
+	var readerDone, writerDone = make(chan struct{}), make(chan struct{})
+
+	// Stage 1: prefetch reader.
+	go func() {
+		defer close(readerDone)
+		defer close(toT)
+		for u := 0; u < p.units; u++ {
+			if skip[u] {
+				r.ctr.segmentsSkipped.Inc()
+				continue
+			}
+			g := r.sched.unit(p, u)
+			var pr *pair
+			select {
+			case pr = <-r.pairs:
+			case <-done:
+				return
+			}
+			if err := r.readUnit(g, pr.src[:r.sched.bytes(g)]); err != nil {
+				r.pairs <- pr
+				fail(err)
+				return
+			}
+			select {
+			case toT <- &work{u: u, g: g, pr: pr}:
+			case <-done:
+				r.pairs <- pr
+				return
+			}
+		}
+	}()
+
+	// Stage 3: double-buffered writer. It keeps draining after a
+	// failure so the transform stage never blocks on a full channel.
+	go func() {
+		defer close(writerDone)
+		for w := range toW {
+			select {
+			case <-done:
+				r.pairs <- w.pr
+				continue
+			default:
+			}
+			if err := r.writeOne(pi, w, sums); err != nil {
+				fail(err)
+			}
+			r.pairs <- w.pr
+		}
+	}()
+
+	// Stage 2: transform, on the calling goroutine, fanning each panel
+	// across the worker pool.
+	for {
+		var w *work
+		var ok bool
+		select {
+		case w, ok = <-toT:
+			if ok {
+				r.ctr.prefetchHits.Inc()
+			}
+		default:
+			r.ctr.prefetchMisses.Inc()
+			w, ok = <-toT
+		}
+		if !ok {
+			break
+		}
+		nb := r.sched.bytes(w.g)
+		r.sched.transform(p, w.g, w.pr.dst[:nb], w.pr.src[:nb], r.pf)
+		r.ctr.segmentsTransformed.Inc()
+		toW <- w
+	}
+	close(toW)
+	<-readerDone
+	<-writerDone
+	return failErr
+}
+
+// writeOne journals the undo image, writes the transformed panel back,
+// and commits it with its checksum.
+func (r *runner) writeOne(pi int, w *work, sums map[int]uint64) error {
+	nb := r.sched.bytes(w.g)
+	if r.jrn != nil {
+		if err := r.jrn.intent(pi, w.u, w.pr.src[:nb]); err != nil {
+			return err
+		}
+	}
+	if err := r.writeUnit(w.g, w.pr.dst[:nb]); err != nil {
+		return err
+	}
+	if r.jrn != nil {
+		sum := crc64.Checksum(w.pr.dst[:nb], crcTab)
+		if sums != nil {
+			sums[w.u] = sum
+		}
+		if err := r.jrn.commit(pi, w.u, sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreIntents rolls back the in-flight segments of an interrupted
+// pass from their journal undo images, returning the matrix to the
+// exact pre-segment state so re-execution reproduces the committed
+// result.
+func (r *runner) restoreIntents(p pass, st *resumeState) error {
+	pr := <-r.pairs
+	defer func() { r.pairs <- pr }()
+	for u, it := range st.intents {
+		g := r.sched.unit(p, u)
+		nb := r.sched.bytes(g)
+		if it.payloadLen != int64(nb) {
+			return fmt.Errorf("%w: undo image for unit %d is %d bytes, want %d", ErrJournalCorrupt, u, it.payloadLen, nb)
+		}
+		if err := r.readFull(r.cfg.Journal, pr.src[:nb], it.payloadOff); err != nil {
+			return err
+		}
+		if err := r.writeUnit(g, pr.src[:nb]); err != nil {
+			return err
+		}
+		r.ctr.segmentsRestored.Inc()
+	}
+	return nil
+}
+
+// verifyFinal re-reads every segment of the final pass and checks it
+// against the checksum committed in the journal.
+func (r *runner) verifyFinal(p pass, sums map[int]uint64) error {
+	pr := <-r.pairs
+	defer func() { r.pairs <- pr }()
+	for u := 0; u < p.units; u++ {
+		g := r.sched.unit(p, u)
+		nb := r.sched.bytes(g)
+		want, ok := sums[u]
+		if !ok {
+			return fmt.Errorf("%w: no commit checksum for final-pass unit %d", ErrJournalCorrupt, u)
+		}
+		if err := r.readUnit(g, pr.src[:nb]); err != nil {
+			return err
+		}
+		if got := crc64.Checksum(pr.src[:nb], crcTab); got != want {
+			return corruptSegmentErr(len(r.sched.passes)-1, u, want, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package ooc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// memBackend is a growable in-memory Backend (and journal backend) for
+// tests.
+type memBackend struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(m.b)) {
+		m.b = append(m.b, make([]byte, end-int64(len(m.b)))...)
+	}
+	return copy(m.b[off:], p), nil
+}
+
+func (m *memBackend) Truncate(n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < int64(len(m.b)) {
+		m.b = m.b[:n]
+	}
+	return nil
+}
+
+// naiveTranspose is the bit-exact reference: out-of-place byte
+// transpose of a rows×cols row-major matrix of e-byte elements.
+func naiveTranspose(in []byte, rows, cols, e int) []byte {
+	out := make([]byte, len(in))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			copy(out[(j*rows+i)*e:(j*rows+i+1)*e], in[(i*cols+j)*e:(i*cols+j+1)*e])
+		}
+	}
+	return out
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols, e int) []byte {
+	b := make([]byte, rows*cols*e)
+	rng.Read(b)
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	shapes := []struct{ rows, cols int }{
+		{2, 3}, {3, 2}, {4, 6}, {6, 4}, {7, 5}, {5, 7}, {8, 8},
+		{1, 9}, {9, 1}, {2, 2}, {13, 29}, {29, 13}, {32, 48}, {48, 32},
+		{63, 65}, {96, 64}, {17, 1024}, {1024, 17},
+	}
+	elems := []int{1, 3, 8}
+	rng := rand.New(rand.NewSource(5))
+	for _, sh := range shapes {
+		for _, e := range elems {
+			floor, ok := minBudget(sh.rows, sh.cols, e)
+			if !ok {
+				t.Fatalf("minBudget overflow for %dx%d", sh.rows, sh.cols)
+			}
+			for _, budget := range []int64{floor, 2*floor + 7*int64(e), 64 * floor, 1 << 22} {
+				for _, dir := range []Dir{DirAuto, DirC2R, DirR2C} {
+					name := fmt.Sprintf("%dx%dx%d/b%d/dir%d", sh.rows, sh.cols, e, budget, dir)
+					in := randomMatrix(rng, sh.rows, sh.cols, e)
+					want := naiveTranspose(in, sh.rows, sh.cols, e)
+					data := &memBackend{b: append([]byte(nil), in...)}
+					stats, err := Run(data, Config{
+						Rows: sh.rows, Cols: sh.cols, ElemSize: e,
+						Budget: budget, Dir: dir,
+					})
+					if err != nil {
+						t.Fatalf("%s: Run: %v", name, err)
+					}
+					if !bytes.Equal(data.b, want) {
+						t.Fatalf("%s: result differs from reference", name)
+					}
+					if sh.rows > 1 && sh.cols > 1 {
+						if got := int64(stats.PeakResidentBytes); got > budget {
+							t.Fatalf("%s: peak resident %d exceeds budget %d", name, got, budget)
+						}
+						if stats.SegmentsTransformed == 0 {
+							t.Fatalf("%s: no segments transformed", name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripWithJournalAndVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range []struct{ rows, cols int }{{16, 24}, {24, 16}, {31, 37}} {
+		const e = 8
+		in := randomMatrix(rng, sh.rows, sh.cols, e)
+		want := naiveTranspose(in, sh.rows, sh.cols, e)
+		data := &memBackend{b: append([]byte(nil), in...)}
+		floor, _ := minBudget(sh.rows, sh.cols, e)
+		stats, err := Run(data, Config{
+			Rows: sh.rows, Cols: sh.cols, ElemSize: e,
+			Budget:  4 * floor,
+			Journal: &memBackend{},
+			Verify:  true,
+		})
+		if err != nil {
+			t.Fatalf("Run(%dx%d): %v", sh.rows, sh.cols, err)
+		}
+		if !bytes.Equal(data.b, want) {
+			t.Fatalf("%dx%d: result differs from reference", sh.rows, sh.cols)
+		}
+		if stats.JournalBytes == 0 {
+			t.Fatalf("%dx%d: journal never written", sh.rows, sh.cols)
+		}
+	}
+}
+
+// faultBackend wraps a memBackend and starts failing permanently after
+// a fixed number of successful writes, tearing the failing write halfway
+// — the observable shape of a process killed mid-I/O.
+type faultBackend struct {
+	*memBackend
+	mu        sync.Mutex
+	remaining int
+	dead      bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultBackend) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.dead || f.remaining <= 0 {
+		f.dead = true
+		f.mu.Unlock()
+		if len(p) > 1 {
+			n, _ := f.memBackend.WriteAt(p[:len(p)/2], off)
+			return n, errInjected
+		}
+		return 0, errInjected
+	}
+	f.remaining--
+	f.mu.Unlock()
+	return f.memBackend.WriteAt(p, off)
+}
+
+func TestResumeAfterKill(t *testing.T) {
+	const rows, cols, e = 23, 37, 8
+	rng := rand.New(rand.NewSource(11))
+	in := randomMatrix(rng, rows, cols, e)
+	want := naiveTranspose(in, rows, cols, e)
+	floor, _ := minBudget(rows, cols, e)
+
+	var sawRestore, sawSkip bool
+	for failAfter := 0; failAfter < 40; failAfter += 3 {
+		data := &memBackend{b: append([]byte(nil), in...)}
+		jrn := &memBackend{}
+		cfg := Config{Rows: rows, Cols: cols, ElemSize: e, Budget: 4 * floor, Retries: 1}
+
+		// First run against a backend that dies after failAfter writes.
+		cfg.Journal = jrn
+		fb := &faultBackend{memBackend: data, remaining: failAfter}
+		if _, err := Run(fb, cfg); err == nil {
+			t.Fatalf("failAfter=%d: expected injected failure, got success", failAfter)
+		} else if !errors.Is(err, ErrShortWrite) {
+			t.Fatalf("failAfter=%d: want ErrShortWrite, got %v", failAfter, err)
+		}
+
+		// Resume against the healthy backend.
+		cfg.Resume = true
+		cfg.Verify = true
+		stats, err := Run(data, cfg)
+		if err != nil {
+			t.Fatalf("failAfter=%d: resume: %v", failAfter, err)
+		}
+		if !bytes.Equal(data.b, want) {
+			t.Fatalf("failAfter=%d: resumed result differs from reference", failAfter)
+		}
+		sawRestore = sawRestore || stats.SegmentsRestored > 0
+		sawSkip = sawSkip || stats.SegmentsSkipped > 0
+	}
+	if !sawRestore {
+		t.Error("no run ever rolled back an intent — fault sweep too narrow")
+	}
+	if !sawSkip {
+		t.Error("no run ever skipped a committed segment — fault sweep too narrow")
+	}
+}
+
+func TestResumeJournalMismatch(t *testing.T) {
+	const e = 8
+	in := make([]byte, 16*24*e)
+	data := &memBackend{b: append([]byte(nil), in...)}
+	jrn := &memBackend{}
+	floor, _ := minBudget(16, 24, e)
+	cfg := Config{Rows: 16, Cols: 24, ElemSize: e, Budget: 4 * floor, Journal: jrn}
+	if _, err := Run(data, cfg); err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	// Same journal, different shape: resume must refuse.
+	bad := cfg
+	bad.Rows, bad.Cols = 24, 16
+	bad.Resume = true
+	bad.Dir = DirC2R
+	if _, err := Run(data, bad); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("want ErrJournalMismatch, got %v", err)
+	}
+	// Garbage header: corrupt.
+	if _, err := Run(data, Config{Rows: 16, Cols: 24, ElemSize: e, Budget: 4 * floor,
+		Journal: &memBackend{b: []byte("not a journal header at all, nope....")}, Resume: true}); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("want ErrJournalCorrupt, got %v", err)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	data := &memBackend{b: make([]byte, 6*8)}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"zero rows", Config{Rows: 0, Cols: 3, ElemSize: 8, Budget: 1 << 20}, ErrShape},
+		{"neg elem", Config{Rows: 2, Cols: 3, ElemSize: -1, Budget: 1 << 20}, ErrShape},
+		{"budget floor", Config{Rows: 100, Cols: 200, ElemSize: 8, Budget: 100}, ErrBudget},
+		{"resume sans journal", Config{Rows: 2, Cols: 3, ElemSize: 8, Budget: 1 << 20, Resume: true}, ErrNoJournal},
+		{"verify sans journal", Config{Rows: 2, Cols: 3, ElemSize: 8, Budget: 1 << 20, Verify: true}, ErrNoJournal},
+	} {
+		if _, err := Run(data, tc.cfg); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

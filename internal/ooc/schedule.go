@@ -1,0 +1,381 @@
+package ooc
+
+import (
+	"io"
+
+	"inplace/internal/cr"
+	"inplace/internal/mathutil"
+	"inplace/internal/parallel"
+)
+
+// Backend is the storage a matrix is transposed on: random-access reads
+// and writes, with no seek state shared between the pipeline stages.
+// *os.File satisfies it; so does any object store adapter exposing
+// ranged reads and writes.
+type Backend interface {
+	io.ReaderAt
+	io.WriterAt
+}
+
+// syncer is the optional durability upgrade of a Backend or Journal
+// backend. When the data backend implements it, the engine syncs written
+// segments before committing them to the journal, making the commit
+// record a true write-ahead barrier.
+type syncer interface {
+	Sync() error
+}
+
+// Config parameterizes one out-of-core transposition.
+type Config struct {
+	// Rows, Cols and ElemSize describe the row-major matrix on the
+	// backend: Rows*Cols elements of ElemSize bytes each.
+	Rows, Cols, ElemSize int
+
+	// Budget is the scratch-memory ceiling in bytes. The engine sizes
+	// its segment schedule so that all resident panels together stay
+	// within it; the floor is 2*max(Rows,Cols)*ElemSize (one source and
+	// one destination panel of minimum width — the decomposition's
+	// O(max(m,n)) auxiliary bound made literal).
+	Budget int64
+
+	// Workers is the transform parallelism within a resident panel;
+	// 0 means GOMAXPROCS. Workers dispatch onto the process-wide
+	// persistent pool (internal/parallel.Shared).
+	Workers int
+
+	// Depth is the pipeline depth: how many segments may be in flight
+	// across the prefetch/transform/write stages at once. 0 picks 3
+	// (one per stage), degraded automatically when the budget is tight.
+	Depth int
+
+	// SegmentBytes overrides the derived segment size; 0 derives it
+	// from Budget and Depth. Values below the schedule floor are
+	// raised; values that would burst the budget shrink the depth.
+	SegmentBytes int64
+
+	// Dir forces the C2R (DirC2R) or R2C (DirR2C) formulation; DirAuto
+	// applies the shape heuristic of the in-memory planner.
+	Dir Dir
+
+	// Journal enables crash-safe progress: undo images and segment
+	// commits are appended to it, making an interrupted run resumable.
+	// Nil disables journaling (and resume) entirely.
+	Journal Backend
+
+	// Resume replays the journal instead of starting fresh: committed
+	// segments are skipped, in-flight segments are rolled back from
+	// their undo images and re-executed. Requires Journal.
+	Resume bool
+
+	// Verify re-reads every segment of the final pass after completion
+	// and checks it against the checksum committed in the journal,
+	// failing with ErrCorruptSegment on mismatch. Requires Journal.
+	Verify bool
+
+	// Retries is how many times a failed or short backend call is
+	// re-issued before the run fails with ErrShortRead/ErrShortWrite.
+	// 0 means 2.
+	Retries int
+}
+
+// Dir selects the permutation pipeline.
+type Dir int
+
+const (
+	// DirAuto picks C2R when rows <= cols, R2C otherwise — the same
+	// shorter-internal-columns heuristic as the in-memory planner.
+	DirAuto Dir = iota
+	// DirC2R forces the C2R pipeline.
+	DirC2R
+	// DirR2C forces the R2C pipeline.
+	DirR2C
+)
+
+func (c Config) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 2
+}
+
+// passKind distinguishes the two panel orientations of the schedule.
+type passKind uint8
+
+const (
+	// passVertical reads/writes column panels: full-height slabs of
+	// consecutive columns, one strided span per matrix row.
+	passVertical passKind = iota
+	// passHorizontal reads/writes row panels: contiguous runs of
+	// consecutive full rows, a single span.
+	passHorizontal
+)
+
+// passOp identifies the gather a pass applies to each resident panel.
+// The numeric values are stable: they are part of the journal's schedule
+// fingerprint.
+type passOp uint8
+
+const (
+	opRotPre     passOp = iota + 1 // column j rotated by +⌊j/b⌋ (Eq. 23)
+	opRotID                        // column j rotated by +j (Eq. 32)
+	opRotNegID                     // column j rotated by -j (Eq. 35)
+	opRotNegPre                    // column j rotated by -⌊j/b⌋ (Eq. 36)
+	opShuffleC2R                   // row i gathered through d'^{-1}_i (Eq. 31)
+	opShuffleR2C                   // row i gathered through d'_i (Eq. 24)
+	opPermQ                        // row i gathered from row q(i) (Eq. 33)
+	opPermQInv                     // row i gathered from row q^{-1}(i) (Eq. 34)
+)
+
+// pass is one file-scope permutation pass: a panel orientation, a
+// gather, and a unit count derived from the panel width.
+type pass struct {
+	kind  passKind
+	op    passOp
+	units int
+}
+
+// schedule is the resolved execution plan of one out-of-core run: the
+// cr.Plan index algebra, the byte geometry, the budget-derived panel
+// widths and the pass sequence. It is the exact out-of-core analogue of
+// the in-memory Schedule: the three-pass decomposition (pre-rotation,
+// row shuffle, column shuffle factored into rotation and row permute)
+// lifted from cache blocks to storage segments, which Theorem 7's
+// linearization independence makes legal.
+type schedule struct {
+	plan *cr.Plan
+	elem int
+	c2r  bool
+
+	// m and n are the pass geometry: the buffer is interpreted as an
+	// m×n row-major grid for every pass, in both directions (the
+	// decomposition never changes the linearization mid-run).
+	m, n int
+
+	vw int // vertical panel width in columns (>= 1)
+	hh int // horizontal panel height in rows (>= 1)
+
+	unitBytes int64 // largest panel byte size; ring buffers are this big
+	depth     int
+	workers   int
+
+	passes []pass
+
+	identity bool // degenerate shapes: the transpose is a no-op
+}
+
+// minBudget returns the schedule floor for a shape: one source and one
+// destination panel of minimum width.
+func minBudget(rows, cols, elem int) (int64, bool) {
+	maxDim := rows
+	if cols > maxDim {
+		maxDim = cols
+	}
+	per, ok := mathutil.CheckedMul(maxDim, elem)
+	if !ok {
+		return 0, false
+	}
+	floor, ok := mathutil.CheckedMul(per, 2)
+	if !ok {
+		return 0, false
+	}
+	return int64(floor), true
+}
+
+// newSchedule validates a config and derives the segment schedule.
+func newSchedule(cfg Config) (*schedule, error) {
+	rows, cols, elem := cfg.Rows, cfg.Cols, cfg.ElemSize
+	if rows <= 0 || cols <= 0 || elem <= 0 {
+		return nil, shapeErr(rows, cols, elem)
+	}
+	size, ok := mathutil.CheckedMul(rows, cols)
+	if !ok {
+		return nil, overflowErr(rows, cols)
+	}
+	if _, ok := mathutil.CheckedMul(size, elem); !ok {
+		return nil, overflowErr(rows, cols)
+	}
+
+	s := &schedule{elem: elem, workers: parallel.Workers(cfg.Workers)}
+
+	if rows == 1 || cols == 1 {
+		// A 1×n or m×1 matrix is its own transpose linearization.
+		s.identity = true
+		return s, nil
+	}
+
+	switch cfg.Dir {
+	case DirC2R:
+		s.c2r = true
+	case DirR2C:
+		s.c2r = false
+	default:
+		s.c2r = rows <= cols
+	}
+	if s.c2r {
+		s.plan = cr.NewPlan(rows, cols)
+	} else {
+		s.plan = cr.NewPlan(cols, rows)
+	}
+	s.m, s.n = s.plan.M, s.plan.N
+
+	floor, ok := minBudget(rows, cols, elem)
+	if !ok {
+		return nil, overflowErr(rows, cols)
+	}
+	if cfg.Budget < floor {
+		return nil, budgetErr(cfg.Budget, floor)
+	}
+
+	// Resolve depth and segment size against the budget: 2*depth
+	// panels are resident at once (a source/destination pair per
+	// in-flight segment), so segBytes <= budget/(2*depth). When the
+	// budget cannot hold a full pipeline of minimum-width panels, the
+	// depth degrades toward sequential execution instead of failing.
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 3
+	}
+	panelFloor := floor / 2 // one panel of minimum width
+	for depth > 1 && cfg.Budget/int64(2*depth) < panelFloor {
+		depth--
+	}
+	seg := cfg.SegmentBytes
+	if seg <= 0 {
+		seg = cfg.Budget / int64(2*depth)
+	}
+	if seg < panelFloor {
+		seg = panelFloor
+	}
+	for depth > 1 && seg > cfg.Budget/int64(2*depth) {
+		depth--
+	}
+	if seg > cfg.Budget/2 {
+		seg = cfg.Budget / 2
+	}
+	s.depth = depth
+
+	// Panel widths from the segment size. Both divisions are exact
+	// integer floors and both floors are >= 1 by the budget check.
+	s.vw = clampDim(seg/int64(s.m*elem), s.n)
+	s.hh = clampDim(seg/int64(s.n*elem), s.m)
+
+	vBytes := int64(s.m) * int64(s.vw) * int64(elem)
+	hBytes := int64(s.hh) * int64(s.n) * int64(elem)
+	s.unitBytes = vBytes
+	if hBytes > s.unitBytes {
+		s.unitBytes = hBytes
+	}
+
+	vUnits := (s.n + s.vw - 1) / s.vw
+	hUnits := (s.m + s.hh - 1) / s.hh
+
+	if s.c2r {
+		if !s.plan.Coprime {
+			s.passes = append(s.passes, pass{passVertical, opRotPre, vUnits})
+		}
+		s.passes = append(s.passes,
+			pass{passHorizontal, opShuffleC2R, hUnits},
+			pass{passVertical, opRotID, vUnits},
+			pass{passVertical, opPermQ, vUnits},
+		)
+	} else {
+		s.passes = append(s.passes,
+			pass{passVertical, opPermQInv, vUnits},
+			pass{passVertical, opRotNegID, vUnits},
+			pass{passHorizontal, opShuffleR2C, hUnits},
+		)
+		if !s.plan.Coprime {
+			s.passes = append(s.passes, pass{passVertical, opRotNegPre, vUnits})
+		}
+	}
+	return s, nil
+}
+
+// Validate resolves the full segment schedule for cfg without running
+// it, surfacing every configuration error Run would.
+func Validate(cfg Config) error {
+	_, err := newSchedule(cfg)
+	if err == nil && cfg.Journal == nil && (cfg.Resume || cfg.Verify) {
+		return ErrNoJournal
+	}
+	return err
+}
+
+// MinBudget returns the smallest legal Config.Budget for a shape:
+// 2*max(rows,cols)*elem bytes (one source and one destination panel of
+// minimum width). ok is false when that product overflows.
+func MinBudget(rows, cols, elem int) (int64, bool) {
+	if rows <= 0 || cols <= 0 || elem <= 0 {
+		return 0, false
+	}
+	return minBudget(rows, cols, elem)
+}
+
+// clampDim clamps a panel width derived from the segment size to [1, max].
+func clampDim(w int64, max int) int {
+	if w < 1 {
+		return 1
+	}
+	if w > int64(max) {
+		return max
+	}
+	return int(w)
+}
+
+// unitGeom describes one unit of one pass: the panel's position and
+// extent in the pass geometry.
+type unitGeom struct {
+	kind passKind
+	lo   int // first column (vertical) or first row (horizontal)
+	ext  int // columns (vertical) or rows (horizontal) in this panel
+}
+
+// unit returns the geometry of unit u of pass p.
+func (s *schedule) unit(p pass, u int) unitGeom {
+	if p.kind == passVertical {
+		lo := u * s.vw
+		ext := s.vw
+		if lo+ext > s.n {
+			ext = s.n - lo
+		}
+		return unitGeom{kind: passVertical, lo: lo, ext: ext}
+	}
+	lo := u * s.hh
+	ext := s.hh
+	if lo+ext > s.m {
+		ext = s.m - lo
+	}
+	return unitGeom{kind: passHorizontal, lo: lo, ext: ext}
+}
+
+// bytes returns the panel byte size of a unit.
+func (s *schedule) bytes(g unitGeom) int {
+	if g.kind == passVertical {
+		return s.m * g.ext * s.elem
+	}
+	return g.ext * s.n * s.elem
+}
+
+// spans invokes fn for each contiguous backend span of a unit, with the
+// span's backend offset, its offset inside the panel buffer, and its
+// length, merging adjacent spans (write-combining): a vertical panel
+// covering every column collapses to one span, and a horizontal panel is
+// a single span by construction.
+func (s *schedule) spans(g unitGeom, fn func(off int64, bufOff, n int) error) error {
+	e := int64(s.elem)
+	if g.kind == passHorizontal {
+		return fn(int64(g.lo)*int64(s.n)*e, 0, g.ext*s.n*s.elem)
+	}
+	if g.ext == s.n {
+		// Full-width vertical panel: rows are adjacent on the backend.
+		return fn(0, 0, s.m*s.n*s.elem)
+	}
+	rowBytes := g.ext * s.elem
+	for i := 0; i < s.m; i++ {
+		off := (int64(i)*int64(s.n) + int64(g.lo)) * e
+		if err := fn(off, i*rowBytes, rowBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

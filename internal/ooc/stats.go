@@ -1,0 +1,81 @@
+package ooc
+
+import "inplace/internal/stats"
+
+// counters is the live metering surface of one run, built on the same
+// internal/stats primitives the in-memory planner cache counters use.
+// All fields are safe for concurrent update from the pipeline stages.
+type counters struct {
+	bytesRead    stats.Counter
+	bytesWritten stats.Counter
+	readOps      stats.Counter
+	writeOps     stats.Counter
+	retries      stats.Counter
+
+	segmentsTransformed stats.Counter
+	segmentsSkipped     stats.Counter // committed in the journal before this run
+	segmentsRestored    stats.Counter // undo images replayed on resume
+
+	prefetchHits   stats.Counter
+	prefetchMisses stats.Counter
+
+	journalBytes stats.Counter
+	peakResident stats.Gauge
+}
+
+// Stats is the immutable snapshot of a run's counters that Run returns.
+type Stats struct {
+	// BytesRead and BytesWritten count data-backend I/O volume;
+	// journal traffic is metered separately in JournalBytes.
+	BytesRead    uint64
+	BytesWritten uint64
+	// ReadOps and WriteOps count backend calls after write-combining,
+	// so ReadOps/BytesRead exposes the effective I/O granularity.
+	ReadOps  uint64
+	WriteOps uint64
+	// Retries counts transient backend failures that were re-issued.
+	Retries uint64
+
+	// SegmentsTransformed counts units gathered by this run;
+	// SegmentsSkipped counts units the journal proved already committed;
+	// SegmentsRestored counts undo images replayed before re-execution.
+	SegmentsTransformed uint64
+	SegmentsSkipped     uint64
+	SegmentsRestored    uint64
+
+	// PrefetchHits counts transform-stage pulls satisfied without
+	// waiting on the reader; PrefetchMisses counts stalls.
+	PrefetchHits   uint64
+	PrefetchMisses uint64
+
+	// JournalBytes counts bytes appended to the journal (headers, undo
+	// images and commit records).
+	JournalBytes uint64
+
+	// PeakResidentBytes is the high-water mark of scratch the engine
+	// held at once: the buffer ring plus per-run bookkeeping. It never
+	// exceeds the configured budget.
+	PeakResidentBytes uint64
+
+	// Passes is the number of permutation passes the schedule ran.
+	Passes int
+}
+
+// snapshot freezes the counters into a Stats.
+func (c *counters) snapshot(passes int) Stats {
+	return Stats{
+		BytesRead:           c.bytesRead.Load(),
+		BytesWritten:        c.bytesWritten.Load(),
+		ReadOps:             c.readOps.Load(),
+		WriteOps:            c.writeOps.Load(),
+		Retries:             c.retries.Load(),
+		SegmentsTransformed: c.segmentsTransformed.Load(),
+		SegmentsSkipped:     c.segmentsSkipped.Load(),
+		SegmentsRestored:    c.segmentsRestored.Load(),
+		PrefetchHits:        c.prefetchHits.Load(),
+		PrefetchMisses:      c.prefetchMisses.Load(),
+		JournalBytes:        c.journalBytes.Load(),
+		PeakResidentBytes:   c.peakResident.Load(),
+		Passes:              passes,
+	}
+}

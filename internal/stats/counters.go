@@ -1,0 +1,40 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is a cumulative, concurrency-safe event counter: the shared
+// metering primitive of the in-memory planner cache and the out-of-core
+// engine. The zero value is ready to use. Counters only grow; consumers
+// meter a workload by snapshotting before and after and differencing.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a concurrency-safe high-water-mark gauge: Set records a
+// candidate value and keeps the maximum ever seen. The out-of-core
+// engine uses it for peak resident scratch accounting.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Observe records x, keeping the running maximum.
+func (g *Gauge) Observe(x uint64) {
+	for {
+		cur := g.v.Load()
+		if x <= cur || g.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }

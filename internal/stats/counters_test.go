@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000+8*5 {
+		t.Fatalf("Counter = %d, want %d", got, 8*1000+8*5)
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for j := uint64(0); j < 100; j++ {
+				g.Observe(base + j)
+			}
+		}(uint64(i * 1000))
+	}
+	wg.Wait()
+	if got := g.Load(); got != 7*1000+99 {
+		t.Fatalf("Gauge high-water = %d, want %d", got, 7*1000+99)
+	}
+	g.Observe(1) // lower observation must not regress the mark
+	if got := g.Load(); got != 7*1000+99 {
+		t.Fatalf("Gauge regressed to %d", got)
+	}
+}

@@ -1,0 +1,97 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Out-of-core wisdom: measured decisions for the ooc engine's schedule
+// knobs (segment size, pipeline depth, transform workers). These live in
+// the same wisdom file as the in-memory decisions, under a separate
+// "ooc" section, because the identities differ: an out-of-core decision
+// is keyed by the memory budget class in addition to the shape — the
+// best segment size under a 64 MiB budget says nothing about the best
+// one under 1 GiB.
+
+// OOCKey identifies one out-of-core tuning problem. The budget enters as
+// its binary order of magnitude (floor(log2(bytes))): decisions within a
+// factor of two of budget transfer well, finer bucketing just fragments
+// the table.
+type OOCKey struct {
+	Rows       int `json:"rows"`
+	Cols       int `json:"cols"`
+	ElemSize   int `json:"elem_size"`
+	BudgetLog2 int `json:"budget_log2"`
+}
+
+func (k OOCKey) String() string {
+	return fmt.Sprintf("%dx%d/%dB/2^%dB", k.Rows, k.Cols, k.ElemSize, k.BudgetLog2)
+}
+
+// BudgetLog2 buckets a byte budget for OOCKey: the position of its
+// highest set bit (so 64 MiB -> 26, and anything in [64 MiB, 128 MiB)
+// shares a bucket).
+func BudgetLog2(budget int64) int {
+	l := 0
+	for budget > 1 {
+		budget >>= 1
+		l++
+	}
+	return l
+}
+
+func (k OOCKey) validate() error {
+	if k.Rows <= 0 || k.Cols <= 0 || k.ElemSize <= 0 || k.BudgetLog2 < 1 || k.BudgetLog2 > 62 {
+		return &FormatError{Reason: fmt.Sprintf("invalid ooc key %v", k)}
+	}
+	return nil
+}
+
+// OOCDecision is a measured-optimal out-of-core schedule for one OOCKey.
+type OOCDecision struct {
+	SegmentBytes int64   `json:"segment_bytes"`
+	Depth        int     `json:"depth"`
+	Workers      int     `json:"workers"`
+	GBps         float64 `json:"gbps,omitempty"` // winning throughput, for provenance
+}
+
+func (d OOCDecision) validate() error {
+	if d.SegmentBytes <= 0 || d.Depth <= 0 || d.Workers <= 0 {
+		return &FormatError{Reason: fmt.Sprintf("invalid ooc decision %+v", d)}
+	}
+	return nil
+}
+
+// LookupOOC returns the out-of-core decision recorded for k, if any.
+func (t *Table) LookupOOC(k OOCKey) (OOCDecision, bool) {
+	d, ok := t.ooc[k]
+	return d, ok
+}
+
+// StoreOOC records d as the out-of-core decision for k.
+func (t *Table) StoreOOC(k OOCKey, d OOCDecision) { t.ooc[k] = d }
+
+// OOCLen returns the number of recorded out-of-core decisions.
+func (t *Table) OOCLen() int { return len(t.ooc) }
+
+// OOCKeys returns the out-of-core keys in deterministic (sorted) order.
+func (t *Table) OOCKeys() []OOCKey {
+	ks := make([]OOCKey, 0, len(t.ooc))
+	for k := range t.ooc {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.Rows != b.Rows {
+			return a.Rows < b.Rows
+		}
+		if a.Cols != b.Cols {
+			return a.Cols < b.Cols
+		}
+		if a.ElemSize != b.ElemSize {
+			return a.ElemSize < b.ElemSize
+		}
+		return a.BudgetLog2 < b.BudgetLog2
+	})
+	return ks
+}

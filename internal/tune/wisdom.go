@@ -93,11 +93,14 @@ func (d Decision) validate() error {
 // that share one across goroutines (the package-level wisdom store in
 // the public API) serialize access themselves.
 type Table struct {
-	m map[Key]Decision
+	m   map[Key]Decision
+	ooc map[OOCKey]OOCDecision
 }
 
 // NewTable returns an empty wisdom table.
-func NewTable() *Table { return &Table{m: make(map[Key]Decision)} }
+func NewTable() *Table {
+	return &Table{m: make(map[Key]Decision), ooc: make(map[OOCKey]OOCDecision)}
+}
 
 // Lookup returns the decision recorded for k, if any.
 func (t *Table) Lookup(k Key) (Decision, bool) {
@@ -140,6 +143,9 @@ func (t *Table) Merge(other *Table) {
 	for k, d := range other.m {
 		t.m[k] = d
 	}
+	for k, d := range other.ooc {
+		t.ooc[k] = d
+	}
 }
 
 // Clone returns a deep copy of t.
@@ -151,11 +157,16 @@ func (t *Table) Clone() *Table {
 
 // Equal reports whether two tables hold identical entries.
 func (t *Table) Equal(other *Table) bool {
-	if len(t.m) != len(other.m) {
+	if len(t.m) != len(other.m) || len(t.ooc) != len(other.ooc) {
 		return false
 	}
 	for k, d := range t.m {
 		if od, ok := other.m[k]; !ok || od != d {
+			return false
+		}
+	}
+	for k, d := range t.ooc {
+		if od, ok := other.ooc[k]; !ok || od != d {
 			return false
 		}
 	}
@@ -164,13 +175,19 @@ func (t *Table) Equal(other *Table) bool {
 
 // wisdomFile is the on-disk envelope.
 type wisdomFile struct {
-	Version int           `json:"version"`
-	Entries []wisdomEntry `json:"entries"`
+	Version int            `json:"version"`
+	Entries []wisdomEntry  `json:"entries"`
+	OOC     []oocFileEntry `json:"ooc,omitempty"`
 }
 
 type wisdomEntry struct {
 	Key
 	Decision
+}
+
+type oocFileEntry struct {
+	OOCKey
+	OOCDecision
 }
 
 // Save writes the table to w as versioned JSON with entries in
@@ -180,6 +197,9 @@ func (t *Table) Save(w io.Writer) error {
 	f := wisdomFile{Version: WisdomVersion}
 	for _, k := range t.Keys() {
 		f.Entries = append(f.Entries, wisdomEntry{Key: k, Decision: t.m[k]})
+	}
+	for _, k := range t.OOCKeys() {
+		f.OOC = append(f.OOC, oocFileEntry{OOCKey: k, OOCDecision: t.ooc[k]})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -229,6 +249,15 @@ func Load(r io.Reader) (*Table, error) {
 			return nil, err
 		}
 		t.Store(e.Key, e.Decision)
+	}
+	for _, e := range f.OOC {
+		if err := e.OOCKey.validate(); err != nil {
+			return nil, err
+		}
+		if err := e.OOCDecision.validate(); err != nil {
+			return nil, err
+		}
+		t.StoreOOC(e.OOCKey, e.OOCDecision)
 	}
 	return t, nil
 }

@@ -3,10 +3,10 @@ package inplace
 import (
 	"reflect"
 	"sync"
-	"sync/atomic"
 
 	"inplace/internal/core"
 	"inplace/internal/parallel"
+	"inplace/internal/stats"
 )
 
 // Planner binds a Plan to an element type and owns everything repeated
@@ -110,9 +110,11 @@ var plannerCache struct {
 	order []plannerKey
 }
 
-// Cache counters. Read-only outside the package via PlannerCacheStats;
-// atomics because hits are recorded under the read lock.
-var cacheHits, cacheMisses, cacheEvictions atomic.Uint64
+// Cache counters, on the shared metering primitives of internal/stats
+// (the same surface the out-of-core engine meters with). Read-only
+// outside the package via PlannerCacheStats; atomic because hits are
+// recorded under the read lock.
+var cacheHits, cacheMisses, cacheEvictions stats.Counter
 
 // CacheStats is a snapshot of the planner cache counters.
 type CacheStats struct {
@@ -155,10 +157,10 @@ func plannerFor[T any](rows, cols int, o Options) (*Planner[T], error) {
 	v, ok := plannerCache.m[key]
 	plannerCache.mu.RUnlock()
 	if ok {
-		cacheHits.Add(1)
+		cacheHits.Inc()
 		return v.(*Planner[T]), nil
 	}
-	cacheMisses.Add(1)
+	cacheMisses.Inc()
 	pl, err := NewPlanner[T](rows, cols, o)
 	if err != nil {
 		return nil, err
@@ -176,7 +178,7 @@ func plannerFor[T any](rows, cols int, o Options) (*Planner[T], error) {
 	for len(plannerCache.order) >= plannerCacheCap {
 		delete(plannerCache.m, plannerCache.order[0])
 		plannerCache.order = plannerCache.order[1:]
-		cacheEvictions.Add(1)
+		cacheEvictions.Inc()
 	}
 	plannerCache.m[key] = pl
 	plannerCache.order = append(plannerCache.order, key)
