@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet lint vuln build test race fuzz bench tune-smoke ooc-smoke clean
+.PHONY: ci vet lint vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke clean
 
 # ci is the full gate: static checks (vet plus the xposelint suite),
 # build, tests, the race detector (short mode keeps the race shapes
 # small), a capped autotuner run, an out-of-core round trip on a real
-# temp file, and a best-effort vulnerability scan.
-ci: vet lint build test race tune-smoke ooc-smoke vuln
+# temp file, the benchmark regression gate against the committed
+# baseline, and a best-effort vulnerability scan.
+ci: vet lint build test race tune-smoke ooc-smoke bench-gate vuln
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +53,25 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchmem .
 
+# bench-gate is the perf-regression gate: measure the quick preset (an
+# anchored -run pattern pins the micro families so the run stays in the
+# seconds range even if the matrix grows) and diff it against the
+# committed baseline. Alloc-count regressions and missing series fail
+# hard; wall-clock deltas only warn, because the baseline may have been
+# measured on a different host where throughput does not transfer.
+BENCH_GATE_RUN = ^(transpose|planner|aos_to_soa|ooc)_
+bench-gate:
+	mkdir -p results
+	$(GO) run ./cmd/benchorch run -preset quick -seed 2014 -run '$(BENCH_GATE_RUN)' -q -json results/bench-latest.json
+	$(GO) run ./cmd/benchorch compare -perf warn results/bench-baseline.json results/bench-latest.json
+
+# bench-baseline refreshes the committed gate baseline in place; commit
+# the result with `git add -f results/bench-baseline.json` (results/ is
+# otherwise ignored).
+bench-baseline:
+	mkdir -p results
+	$(GO) run ./cmd/benchorch run -preset quick -seed 2014 -run '$(BENCH_GATE_RUN)' -q -json results/bench-baseline.json
+
 # tune-smoke exercises the whole autotuner pipeline end to end on tiny
 # shapes with capped measurement budgets: batch-tune, write a wisdom
 # file, and read it back. Seconds, not minutes — cheap enough for ci.
@@ -67,6 +87,8 @@ ooc-smoke:
 	$(GO) run ./cmd/xposeooc -selftest -budget 64k
 	$(GO) test -race -run 'TestTransposeFile|TestResumeAfterKill' . ./internal/ooc
 
+# clean keeps results/bench-baseline.json: it is committed (the
+# bench-gate reference), not a build product.
 clean:
 	$(GO) clean
-	rm -rf results
+	@if [ -d results ]; then find results -mindepth 1 ! -name bench-baseline.json -delete; fi

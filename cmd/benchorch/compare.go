@@ -1,0 +1,252 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"inplace/internal/benchfmt"
+)
+
+// The noise-aware diff between two BENCH envelopes. Allocation counts
+// are deterministic per code path, so any alloc-count increase is a hard
+// failure regardless of host. Wall-clock throughput is noisy, so a
+// throughput verdict needs both disjoint confidence intervals and a
+// relative delta beyond the noise floor before it counts as a
+// regression; whether that fails the gate or only flags it is the
+// caller's policy (the CI gate compares against a baseline possibly
+// measured on another host, where only allocs transfer).
+
+type compareOpts struct {
+	// Threshold is the relative noise floor: deltas within it are never
+	// regressions even with disjoint CIs (MAD-zero series collapse their
+	// interval to a point). Default 0.10.
+	Threshold float64
+	// PerfFail makes beyond-noise throughput regressions fail the gate;
+	// false demotes them to flags. Alloc regressions and missing series
+	// always fail.
+	PerfFail bool
+}
+
+func (o compareOpts) withDefaults() compareOpts {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.10
+	}
+	return o
+}
+
+// Verdicts, one per compared metric.
+const (
+	vOK        = "ok"
+	vNoise     = "~noise"
+	vImproved  = "IMPROVED"
+	vRegressed = "REGRESSION"
+	vAllocFail = "ALLOC FAIL"
+	vMissing   = "MISSING"
+	vNew       = "new"
+)
+
+type compareRow struct {
+	Name    string
+	Metric  string
+	Unit    string
+	Old     float64
+	New     float64
+	Delta   float64 // relative, NaN when undefined
+	Verdict string
+}
+
+type comparison struct {
+	rows     []compareRow
+	failures []string // hard gate failures
+	flags    []string // beyond-noise findings demoted to warnings
+	notes    []string // context (env mismatch, new series, ...)
+}
+
+func (c *comparison) failed() bool { return len(c.failures) > 0 }
+
+func compareReports(oldR, newR benchfmt.Report, o compareOpts) *comparison {
+	o = o.withDefaults()
+	c := &comparison{}
+	if oldR.Preset != newR.Preset {
+		c.notes = append(c.notes, fmt.Sprintf(
+			"preset mismatch: old %q vs new %q — series align by name only within one preset", oldR.Preset, newR.Preset))
+	}
+	if !oldR.Env.Equal(newR.Env) {
+		c.notes = append(c.notes, fmt.Sprintf(
+			"environment differs (old %s/%s %s, new %s/%s %s): wall-clock deltas are cross-host, alloc counts still bind",
+			oldR.Env.GOOS, oldR.Env.GOARCH, oldR.Env.GoVersion,
+			newR.Env.GOOS, newR.Env.GOARCH, newR.Env.GoVersion))
+	}
+
+	for _, oe := range oldR.Experiments {
+		ne, ok := newR.Find(oe.Name)
+		if !ok {
+			c.rows = append(c.rows, compareRow{Name: oe.Name, Metric: "-", Delta: math.NaN(), Verdict: vMissing})
+			c.failures = append(c.failures, fmt.Sprintf("%s: present in baseline but missing from the new run", oe.Name))
+			continue
+		}
+		micro := oe.Kind == "" || oe.Kind == benchfmt.KindMicro
+		if micro {
+			c.compareAllocs(oe, ne)
+		}
+		if len(oe.Series) == 0 && micro {
+			// Legacy micro entry (BENCH_PR2-era): scalar medians only, no
+			// noise estimate — informational.
+			c.compareLegacyScalar(oe, ne, o)
+			continue
+		}
+		for _, os := range oe.Series {
+			if micro && os.Name == "ns_per_op" {
+				continue // the inverse of gbps; one verdict per case
+			}
+			ns, ok := ne.FindSeries(os.Name)
+			if !ok {
+				name := oe.Name + "/" + os.Name
+				c.rows = append(c.rows, compareRow{Name: oe.Name, Metric: os.Name, Delta: math.NaN(), Verdict: vMissing})
+				c.failures = append(c.failures, fmt.Sprintf("%s: series present in baseline but missing from the new run", name))
+				continue
+			}
+			c.compareSeries(oe.Name, os, ns, o)
+		}
+	}
+	for _, ne := range newR.Experiments {
+		if _, ok := oldR.Find(ne.Name); !ok {
+			c.rows = append(c.rows, compareRow{Name: ne.Name, Metric: "-", Delta: math.NaN(), Verdict: vNew})
+			c.notes = append(c.notes, fmt.Sprintf("%s: new in this run (no baseline)", ne.Name))
+		}
+	}
+	return c
+}
+
+func (c *comparison) compareAllocs(oe, ne benchfmt.Experiment) {
+	row := compareRow{
+		Name: oe.Name, Metric: "allocs/op", Unit: "allocs",
+		Old: float64(oe.AllocsPerOp), New: float64(ne.AllocsPerOp), Delta: math.NaN(),
+	}
+	switch {
+	case ne.AllocsPerOp > oe.AllocsPerOp:
+		row.Verdict = vAllocFail
+		c.failures = append(c.failures, fmt.Sprintf(
+			"%s: allocs/op regressed %d -> %d (alloc counts are deterministic; this is a hard failure)",
+			oe.Name, oe.AllocsPerOp, ne.AllocsPerOp))
+	case ne.AllocsPerOp < oe.AllocsPerOp:
+		row.Verdict = vImproved
+		c.notes = append(c.notes, fmt.Sprintf("%s: allocs/op improved %d -> %d — refresh the baseline to lock it in",
+			oe.Name, oe.AllocsPerOp, ne.AllocsPerOp))
+	default:
+		row.Verdict = vOK
+	}
+	c.rows = append(c.rows, row)
+}
+
+// compareSeries issues the noise-aware verdict for one matched series.
+func (c *comparison) compareSeries(expName string, os, ns benchfmt.Series, o compareOpts) {
+	name := expName + "/" + os.Name
+	oldV, newV := os.Summary.TrimmedMean, ns.Summary.TrimmedMean
+	row := compareRow{Name: expName, Metric: os.Name, Unit: os.Unit, Old: oldV, New: newV, Delta: math.NaN()}
+	if os.Summary.N == 0 || ns.Summary.N == 0 || oldV == 0 {
+		row.Verdict = vOK
+		c.rows = append(c.rows, row)
+		return
+	}
+	delta := (newV - oldV) / math.Abs(oldV)
+	row.Delta = delta
+
+	// Disjoint-CI test oriented by the metric's direction.
+	var worseBeyondCI, betterBeyondCI bool
+	if os.HigherIsBetter {
+		worseBeyondCI = ns.Summary.CIHi < os.Summary.CILo
+		betterBeyondCI = ns.Summary.CILo > os.Summary.CIHi
+	} else {
+		worseBeyondCI = ns.Summary.CILo > os.Summary.CIHi
+		betterBeyondCI = ns.Summary.CIHi < os.Summary.CILo
+	}
+	worse := (delta < 0) == os.HigherIsBetter && delta != 0
+
+	switch {
+	case math.Abs(delta) <= o.Threshold || (!worseBeyondCI && !betterBeyondCI):
+		if delta == 0 {
+			row.Verdict = vOK
+		} else {
+			row.Verdict = vNoise
+		}
+	case worse && worseBeyondCI:
+		row.Verdict = vRegressed
+		msg := fmt.Sprintf("%s: %+.1f%% beyond the noise band (old %.4g, new %.4g %s, CIs disjoint)",
+			name, delta*100, oldV, newV, os.Unit)
+		if o.PerfFail {
+			c.failures = append(c.failures, msg)
+		} else {
+			c.flags = append(c.flags, msg)
+		}
+	case !worse && betterBeyondCI:
+		row.Verdict = vImproved
+		c.notes = append(c.notes, fmt.Sprintf("%s: %+.1f%% beyond the noise band — consider refreshing the baseline",
+			name, delta*100))
+	default:
+		// Beyond the relative floor but the CIs still overlap in the
+		// direction that matters: noise.
+		row.Verdict = vNoise
+	}
+	c.rows = append(c.rows, row)
+}
+
+// compareLegacyScalar handles BENCH_PR2-era entries that carry only the
+// median scalars: with no spread estimate the verdict can only be
+// informational, so beyond-floor deltas flag but never fail.
+func (c *comparison) compareLegacyScalar(oe, ne benchfmt.Experiment, o compareOpts) {
+	row := compareRow{Name: oe.Name, Metric: "gbps", Unit: "GB/s", Old: oe.GBps, New: ne.GBps, Delta: math.NaN()}
+	if oe.GBps > 0 && ne.GBps > 0 {
+		delta := (ne.GBps - oe.GBps) / oe.GBps
+		row.Delta = delta
+		legacyFloor := math.Max(2.5*o.Threshold, 0.25)
+		switch {
+		case delta < -legacyFloor:
+			row.Verdict = vRegressed
+			c.flags = append(c.flags, fmt.Sprintf(
+				"%s: %+.1f%% on legacy scalar medians (no sample series in baseline; informational)", oe.Name, delta*100))
+		case delta > legacyFloor:
+			row.Verdict = vImproved
+		default:
+			row.Verdict = vNoise
+		}
+	} else {
+		row.Verdict = vOK
+	}
+	c.rows = append(c.rows, row)
+}
+
+// Markdown renders the diff as the gate's report.
+func (c *comparison) Markdown(oldName, newName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Bench compare: %s vs %s\n\n", oldName, newName)
+	if c.failed() {
+		b.WriteString("**GATE: FAIL**\n\n")
+	} else {
+		b.WriteString("**GATE: PASS**\n\n")
+	}
+	b.WriteString("| case | metric | old | new | delta | verdict |\n")
+	b.WriteString("|------|--------|----:|----:|------:|---------|\n")
+	for _, r := range c.rows {
+		delta := "-"
+		if !math.IsNaN(r.Delta) {
+			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.4g | %.4g | %s | %s |\n",
+			r.Name, r.Metric, r.Old, r.New, delta, r.Verdict)
+	}
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		b.WriteString("\n## " + title + "\n\n")
+		for _, it := range items {
+			b.WriteString("- " + it + "\n")
+		}
+	}
+	section("Failures", c.failures)
+	section("Flags", c.flags)
+	section("Notes", c.notes)
+	return b.String()
+}

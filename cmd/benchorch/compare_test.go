@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inplace/internal/benchfmt"
+	"inplace/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite compare fixture testdata files")
+
+// fixtureEnv pins the environment so fixtures are host-independent and
+// env-mismatch noise never leaks into the verdict assertions.
+var fixtureEnv = benchfmt.Env{GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 2, NumCPU: 2}
+
+func series(name, unit string, higher bool, samples ...float64) benchfmt.Series {
+	return benchfmt.Series{
+		Name: name, Unit: unit, HigherIsBetter: higher,
+		Samples: samples, Summary: stats.Summarize(samples),
+	}
+}
+
+func micro(name string, allocs int64, gbps ...float64) benchfmt.Experiment {
+	med := stats.Summarize(gbps).Median
+	return benchfmt.Experiment{
+		Name: name, Kind: benchfmt.KindMicro,
+		NsPerOp: 1000 / med, GBps: med, AllocsPerOp: allocs, BytesPerOp: allocs * 64,
+		Series: []benchfmt.Series{series("gbps", "GB/s", true, gbps...)},
+	}
+}
+
+func fixture(exps ...benchfmt.Experiment) benchfmt.Report {
+	r := benchfmt.Report{
+		Version: benchfmt.Version, Preset: "quick", Reps: 5, Seed: 2014,
+		GoVersion: fixtureEnv.GoVersion, GOMAXPROCS: fixtureEnv.GOMAXPROCS, Env: fixtureEnv,
+		Experiments: exps,
+	}
+	return r
+}
+
+// The fixture matrix: a healthy baseline and four new runs exercising
+// each gate outcome. Tight sample spreads keep the confidence intervals
+// narrow so the disjoint-CI test is decisive, not flaky.
+func fixtures() map[string]benchfmt.Report {
+	locality := benchfmt.Experiment{
+		Name: "exp:locality:locality_misses", Kind: benchfmt.KindSeries,
+		Series: []benchfmt.Series{series("misses", "miss/elem", false, 0.50, 0.25, 0.125)},
+	}
+	base := fixture(
+		micro("transpose_cold_64x48_w1", 0, 1.50, 1.52, 1.48, 1.51, 1.49),
+		micro("planner_warm_cacheaware_96x64_w1", 2, 3.00, 3.02, 2.98, 3.01, 2.99),
+		locality,
+	)
+	// Within noise: +3% on one case, -2% on the other.
+	ok := fixture(
+		micro("transpose_cold_64x48_w1", 0, 1.545, 1.56, 1.53, 1.55, 1.54),
+		micro("planner_warm_cacheaware_96x64_w1", 2, 2.94, 2.96, 2.92, 2.95, 2.93),
+		locality,
+	)
+	// Clear regression: -40% with a disjoint confidence interval.
+	regress := fixture(
+		micro("transpose_cold_64x48_w1", 0, 0.90, 0.91, 0.89, 0.90, 0.90),
+		micro("planner_warm_cacheaware_96x64_w1", 2, 3.00, 3.02, 2.98, 3.01, 2.99),
+		locality,
+	)
+	// Alloc bump: throughput unchanged, allocs/op 0 -> 3.
+	allocbump := fixture(
+		micro("transpose_cold_64x48_w1", 3, 1.50, 1.52, 1.48, 1.51, 1.49),
+		micro("planner_warm_cacheaware_96x64_w1", 2, 3.00, 3.02, 2.98, 3.01, 2.99),
+		locality,
+	)
+	// Missing series: the locality capture lost its "misses" series and
+	// one whole micro case disappeared.
+	missing := fixture(
+		micro("transpose_cold_64x48_w1", 0, 1.50, 1.52, 1.48, 1.51, 1.49),
+		benchfmt.Experiment{
+			Name: "exp:locality:locality_misses", Kind: benchfmt.KindSeries,
+			Series: []benchfmt.Series{series("other", "miss/elem", false, 1, 2, 3)},
+		},
+	)
+	return map[string]benchfmt.Report{
+		"old.json":           base,
+		"new_ok.json":        ok,
+		"new_regress.json":   regress,
+		"new_allocbump.json": allocbump,
+		"new_missing.json":   missing,
+	}
+}
+
+func fixturePath(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		rep, ok := fixtures()[name]
+		if !ok {
+			t.Fatalf("no fixture named %s", name)
+		}
+		if err := benchfmt.WriteFile(path, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fixture missing (regenerate with -update): %v", err)
+	}
+	return path
+}
+
+// The gate's exit-code contract, end to end through the CLI entry point:
+// 0 for within-noise runs, 1 for regressions / alloc bumps / missing
+// series, and the verdict strings surface in the markdown.
+func TestCompareExitCodes(t *testing.T) {
+	old := fixturePath(t, "old.json")
+	cases := []struct {
+		name     string
+		newFile  string
+		args     []string
+		wantExit int
+		wantMD   []string
+	}{
+		{"within noise", "new_ok.json", nil, 0, []string{"GATE: PASS", "~noise"}},
+		{"identical", "old.json", nil, 0, []string{"GATE: PASS"}},
+		{"regression", "new_regress.json", nil, 1, []string{"GATE: FAIL", "REGRESSION", "beyond the noise band"}},
+		{"regression warn-only", "new_regress.json", []string{"-perf", "warn"}, 0, []string{"GATE: PASS", "REGRESSION"}},
+		{"alloc bump", "new_allocbump.json", nil, 1, []string{"GATE: FAIL", "ALLOC FAIL", "0 -> 3", "hard failure"}},
+		{"alloc bump survives perf warn", "new_allocbump.json", []string{"-perf", "warn"}, 1, []string{"GATE: FAIL", "ALLOC FAIL"}},
+		{"missing series", "new_missing.json", nil, 1, []string{"GATE: FAIL", "MISSING", "missing from the new run"}},
+		{"wide threshold tolerates regression", "new_regress.json", []string{"-threshold", "0.5"}, 0, []string{"GATE: PASS"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			newPath := fixturePath(t, c.newFile)
+			var stdout, stderr bytes.Buffer
+			args := append(append([]string{"compare"}, c.args...), old, newPath)
+			if got := run(args, &stdout, &stderr); got != c.wantExit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, c.wantExit, stdout.String(), stderr.String())
+			}
+			for _, want := range c.wantMD {
+				if !strings.Contains(stdout.String(), want) {
+					t.Errorf("markdown missing %q:\n%s", want, stdout.String())
+				}
+			}
+		})
+	}
+}
+
+// An improvement is never a failure, only a refresh-the-baseline note —
+// checked in both orientations (higher-is-better throughput up, and the
+// reverse comparison of the regression pair).
+func TestCompareImprovementPasses(t *testing.T) {
+	// regress -> base is a +66% improvement with disjoint CIs.
+	old := fixturePath(t, "new_regress.json")
+	newer := fixturePath(t, "old.json")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"compare", old, newer}, &stdout, &stderr); got != 0 {
+		t.Fatalf("improvement failed the gate (exit %d):\n%s%s", got, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "IMPROVED") {
+		t.Errorf("markdown missing IMPROVED verdict:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "refreshing the baseline") {
+		t.Errorf("markdown missing baseline-refresh note:\n%s", stdout.String())
+	}
+}
+
+// Usage and input errors exit 2, distinct from gate failures.
+func TestCompareUsageErrors(t *testing.T) {
+	old := fixturePath(t, "old.json")
+	cases := [][]string{
+		{"compare"},                             // missing both files
+		{"compare", old},                        // missing new
+		{"compare", old, "does-not-exist.json"}, /* unreadable */
+		{"compare", "-perf", "maybe", old, old}, // bad policy
+		{"bogus-command"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr); got != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, got)
+		}
+	}
+}
+
+// compare -md writes the same markdown it printed.
+func TestCompareWritesMarkdown(t *testing.T) {
+	old := fixturePath(t, "old.json")
+	regress := fixturePath(t, "new_regress.json")
+	mdPath := filepath.Join(t.TempDir(), "diff.md")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"compare", "-md", mdPath, old, regress}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	disk, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != stdout.String() {
+		t.Error("-md file differs from printed markdown")
+	}
+}
+
+// Direct unit coverage of the verdict engine for cases the fixtures
+// don't isolate: legacy scalar-only entries flag but never fail, and a
+// brand-new experiment is a note, not a failure.
+func TestCompareLegacyAndNewEntries(t *testing.T) {
+	oldR := fixture(benchfmt.Experiment{Name: "legacy_case", NsPerOp: 100, GBps: 2.0})
+	newR := fixture(
+		benchfmt.Experiment{Name: "legacy_case", NsPerOp: 250, GBps: 0.8},
+		micro("brand_new_case", 0, 1, 1, 1),
+	)
+	c := compareReports(oldR, newR, compareOpts{})
+	if c.failed() {
+		t.Fatalf("legacy scalar regression must not hard-fail: %v", c.failures)
+	}
+	if len(c.flags) == 0 || !strings.Contains(c.flags[0], "legacy") {
+		t.Errorf("legacy regression not flagged: %v", c.flags)
+	}
+	found := false
+	for _, n := range c.notes {
+		if strings.Contains(n, "brand_new_case") && strings.Contains(n, "new in this run") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new experiment not noted: %v", c.notes)
+	}
+}
+
+// Environment and preset mismatches annotate but never fail on their own.
+func TestCompareEnvMismatchIsNote(t *testing.T) {
+	oldR := fixture(micro("c", 0, 1, 1, 1))
+	newR := fixture(micro("c", 0, 1, 1, 1))
+	newR.Preset = "small"
+	newR.Env.GoVersion = "go1.23.0"
+	c := compareReports(oldR, newR, compareOpts{})
+	if c.failed() {
+		t.Fatalf("mismatched env/preset must not fail: %v", c.failures)
+	}
+	joined := strings.Join(c.notes, "\n")
+	if !strings.Contains(joined, "preset mismatch") || !strings.Contains(joined, "environment differs") {
+		t.Errorf("mismatch notes missing: %v", c.notes)
+	}
+}

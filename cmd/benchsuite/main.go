@@ -35,10 +35,11 @@ import (
 
 	"inplace"
 	"inplace/internal/bench"
+	"inplace/internal/benchfmt"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(bench.ExperimentOrder, ",")+") or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(bench.IDs(), ",")+") or 'all'")
 	scale := flag.String("scale", "small", "workload scale: tiny, small or paper")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 2014, "workload RNG seed")
@@ -50,8 +51,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range bench.ExperimentOrder {
-			fmt.Println(id)
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
 	}
@@ -73,11 +74,11 @@ func main() {
 
 	var ids []string
 	if *run == "all" {
-		ids = bench.ExperimentOrder
+		ids = bench.IDs()
 	} else {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.TrimSpace(id)
-			if _, ok := bench.Experiments[id]; !ok {
+			if _, ok := bench.Get(id); !ok {
 				fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", id)
 				os.Exit(2)
 			}
@@ -94,7 +95,7 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		results := bench.Experiments[id](cfg)
+		results := bench.MustGet(id).Run(cfg)
 		for _, r := range results {
 			fmt.Println(r.Text)
 			if r.CSV != "" && *out != "" {
@@ -119,13 +120,10 @@ func main() {
 
 	if *benchJSON != "" {
 		start := time.Now()
-		report := bench.Micro(cfg)
-		raw, err := report.JSON()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*benchJSON, append(raw, '\n'), 0o644); err != nil {
+		// The micro suite serializes through the shared BENCH envelope
+		// (internal/benchfmt) — the same format cmd/benchorch produces and
+		// `benchorch compare` diffs.
+		if err := benchfmt.WriteFile(*benchJSON, bench.Micro(cfg)); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
 			os.Exit(1)
 		}

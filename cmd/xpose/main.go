@@ -158,12 +158,12 @@ func transposeBytes(raw []byte, rows, cols, elem int, o inplace.Options) error {
 }
 
 func runDemo(name string) {
-	run, ok := bench.Experiments[name]
+	exp, ok := bench.Get(name)
 	if !ok || (name != "fig1" && name != "fig2") {
 		fmt.Fprintf(os.Stderr, "xpose: unknown demo %q (want fig1 or fig2)\n", name)
 		os.Exit(2)
 	}
-	for _, r := range run(bench.Config{}) {
+	for _, r := range exp.Run(bench.Config{}) {
 		fmt.Println(r.Text)
 	}
 }

@@ -152,18 +152,14 @@ func TestAllExperimentsTinyScale(t *testing.T) {
 		t.Skip("experiments skipped in -short")
 	}
 	cfg := Config{Scale: TinyScale, Workers: 2, Seed: 1}
-	for _, id := range ExperimentOrder {
-		run, ok := Experiments[id]
-		if !ok {
-			t.Fatalf("experiment %q not registered", id)
-		}
-		results := run(cfg)
+	for _, e := range All() {
+		results := e.Run(cfg)
 		if len(results) == 0 {
-			t.Fatalf("experiment %q produced no results", id)
+			t.Fatalf("experiment %q produced no results", e.ID)
 		}
 		for _, r := range results {
 			if r.Name == "" || r.Text == "" {
-				t.Fatalf("experiment %q produced empty result", id)
+				t.Fatalf("experiment %q produced empty result", e.ID)
 			}
 		}
 	}

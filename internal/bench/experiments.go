@@ -35,32 +35,42 @@ type Result struct {
 	CSV  string // empty if the artifact has no series form
 }
 
-// Experiments maps experiment ids to their runners; cmd/benchsuite
-// iterates this registry.
-var Experiments = map[string]func(Config) []Result{
-	"fig1":      Fig1,
-	"fig2":      Fig2,
-	"fig3":      Fig3,
-	"table1":    Table1,
-	"fig4":      Fig4,
-	"fig5":      Fig5,
-	"fig6":      Fig6,
-	"table2":    Table2,
-	"fig7":      Fig7,
-	"fig8":      Fig8,
-	"fig9":      Fig9,
-	"locality":  Locality,
-	"gpusim":    GPUSim,
-	"planreuse": PlanReuse,
-	"tuned":     Tuned,
-	"ooc":       OOC,
-}
-
-// ExperimentOrder lists experiment ids in paper order.
-var ExperimentOrder = []string{
-	"fig1", "fig2", "fig3", "table1", "fig4", "fig5",
-	"fig6", "table2", "fig7", "fig8", "fig9", "locality", "gpusim",
-	"planreuse", "tuned", "ooc",
+func init() {
+	Register(Experiment{
+		ID: "fig3", Title: "CPU in-place transposition throughput histograms",
+		Unit: "GB/s", Series: []string{"fig3"},
+		Run: Fig3,
+	})
+	Register(Experiment{
+		ID: "table1", Title: "median CPU throughput per contender",
+		Axes: []string{"method"}, Unit: "GB/s", Series: []string{"table1"},
+		Run: Table1,
+	})
+	Register(Experiment{
+		ID: "fig4", Title: "C2R performance landscape over the (m, n) grid",
+		Axes: []string{"m", "n"}, Unit: "GB/s", Series: []string{"fig4", "fig4model"},
+		Run: Fig4,
+	})
+	Register(Experiment{
+		ID: "fig5", Title: "R2C performance landscape over the (m, n) grid",
+		Axes: []string{"m", "n"}, Unit: "GB/s", Series: []string{"fig5", "fig5model"},
+		Run: Fig5,
+	})
+	Register(Experiment{
+		ID: "fig6", Title: "GPU-class contender throughput histograms",
+		Unit: "GB/s", Series: []string{"fig6"},
+		Run: Fig6,
+	})
+	Register(Experiment{
+		ID: "table2", Title: "median GPU-class throughput per contender",
+		Axes: []string{"method"}, Unit: "GB/s", Series: []string{"table2"},
+		Run: Table2,
+	})
+	Register(Experiment{
+		ID: "fig7", Title: "AoS to SoA in-place conversion throughput",
+		Axes: []string{"count", "fields"}, Unit: "GB/s", Series: []string{"fig7"},
+		Run: Fig7,
+	})
 }
 
 // --- Figure 3 / Table 1: CPU in-place transposition throughput ---

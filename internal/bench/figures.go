@@ -9,6 +9,19 @@ import (
 	"inplace/internal/layout"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "fig1", Title: "C2R and R2C permutation demo (3x8)",
+		Series: []string{"fig1"}, Deterministic: true,
+		Run: Fig1,
+	})
+	Register(Experiment{
+		ID: "fig2", Title: "stage-by-stage C2R transpose demo (4x8)",
+		Series: []string{"fig2"}, Deterministic: true,
+		Run: Fig2,
+	})
+}
+
 // Fig1 reproduces the paper's Figure 1: the C2R and R2C permutations of
 // a 3×8 array.
 func Fig1(Config) []Result {

@@ -9,6 +9,15 @@ import (
 	"inplace/internal/gpusim"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "gpusim", Title: "executed GPU kernels on simulated hardware vs the analytic model",
+		Axes: []string{"m", "n"}, Unit: "GB/s", Series: []string{"gpusim"},
+		Deterministic: true,
+		Run:           GPUSim,
+	})
+}
+
 // GPUSim executes the paper's GPU kernels on the simulated device
 // (internal/gpusim) for a set of representative shapes and places the
 // counted-transaction bandwidth next to the analytic model's prediction

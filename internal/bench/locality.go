@@ -8,6 +8,15 @@ import (
 	"inplace/internal/cachesim"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "locality", Title: "modeled DRAM line traffic per element",
+		Axes: []string{"m", "n"}, Unit: "miss/elem", Series: []string{"locality"},
+		Deterministic: true,
+		Run:           Locality,
+	})
+}
+
 // Locality replays the address traces of the transposition algorithms
 // through a set-associative LRU cache model and reports DRAM line
 // traffic (misses) per element. This is the architecture-independent

@@ -1,141 +1,207 @@
 package bench
 
 import (
-	"encoding/json"
+	"fmt"
 	"runtime"
-	"testing"
+	"time"
 
 	"inplace"
+	"inplace/internal/benchfmt"
+	"inplace/internal/mathutil"
+	"inplace/internal/stats"
+	"inplace/internal/tune"
 )
 
 // The micro suite is the machine-readable bench trajectory: a fixed set
-// of named micro-experiments measured with testing.Benchmark so every
-// run reports comparable ns/op, GB/s and allocs/op. cmd/benchsuite
-// serializes the report to BENCH_PR2.json at the repo root; successive
-// PRs regenerate it, so the numbers form a history instead of living
-// only in scrollback.
+// of named micro-experiments whose ns/op, GB/s and allocs/op land in the
+// versioned BENCH envelope (internal/benchfmt). cmd/benchorch enumerates
+// the matrix per preset and `benchorch compare` gates regressions
+// against a committed baseline; cmd/benchsuite's -bench-json writes the
+// same envelope, so the repo-root BENCH_PR*.json files form a comparable
+// history instead of living only in scrollback.
 
-// MicroResult is one micro-experiment measurement.
-type MicroResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	GBps        float64 `json:"gbps"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+// MicroCase is one named micro benchmark: an m×n matrix of elem-byte
+// elements transposed once per op (the throughput normalization), with
+// the setup (buffers, planners, warm-up state) built by Prep outside the
+// measured region.
+type MicroCase struct {
+	Name      string
+	M, N      int
+	ElemBytes int
+	Prep      func() func() // returns the per-op body
 }
 
-// MicroReport is the full serialized artifact.
-type MicroReport struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Results    []MicroResult `json:"experiments"`
+// microDims fixes the micro shape families at one workload scale. The
+// families mirror the library's specializations: a bulk cache-aware
+// shape measured cold and warm, the skinny banded shape, the cached
+// ad-hoc path, a batch, the out-of-core engine and the AoS conversion.
+type microDims struct {
+	coldM, coldN     int // planning on the critical path
+	warmM, warmN     int // steady-state cache-aware Execute
+	skinnyM, skinnyN int // skinny banded specialization
+	cachedM, cachedN int // plan-cache hit + Execute
+	batchCount       int // batched transpose
+	batchM, batchN   int
+	oocM, oocN       int // out-of-core engine, memory-backed
+	aosM, aosN       int // AoS -> SoA conversion
 }
 
-// JSON renders the report with stable formatting.
-func (r MicroReport) JSON() ([]byte, error) {
-	return json.MarshalIndent(r, "", "  ")
-}
-
-// microCase is one named benchmark body transposing an m×n matrix of
-// 8-byte elements per op (the throughput normalization).
-type microCase struct {
-	name string
-	m, n int
-	prep func() func() // returns the per-op body
-}
-
-func microCases(workers int) []microCase {
-	return []microCase{
-		{
-			// Planning on the critical path: schedule + arena + cycles
-			// rebuilt every op.
-			name: "transpose_cold_256x192", m: 256, n: 192,
-			prep: func() func() {
-				data := make([]uint64, 256*192)
-				FillSeq(data)
-				return func() {
-					pl, err := inplace.NewPlanner[uint64](256, 192, inplace.Options{Workers: 1})
-					if err != nil {
-						panic(err)
-					}
-					if err := pl.Execute(data); err != nil {
-						panic(err)
-					}
-				}
-			},
-		},
-		{
-			name: "planner_warm_cacheaware_512x384_w1", m: 512, n: 384,
-			prep: warmPlanner(512, 384, inplace.Options{Workers: 1, Method: inplace.CacheAware}),
-		},
-		{
-			name: "planner_warm_cacheaware_512x384_parallel", m: 512, n: 384,
-			prep: warmPlanner(512, 384, inplace.Options{Workers: workers, Method: inplace.CacheAware}),
-		},
-		{
-			name: "planner_warm_skinny_100000x8_w1", m: 100000, n: 8,
-			prep: warmPlanner(100000, 8, inplace.Options{
-				Workers: 1, Method: inplace.SkinnyMethod, Direction: inplace.ForceC2R,
-			}),
-		},
-		{
-			// The cached-planner ad-hoc path: plannerFor hit + Execute.
-			name: "transpose_cached_192x256", m: 192, n: 256,
-			prep: func() func() {
-				data := make([]uint64, 192*256)
-				FillSeq(data)
-				return func() {
-					if err := inplace.Transpose(data, 192, 256); err != nil {
-						panic(err)
-					}
-				}
-			},
-		},
-		{
-			name: "transpose_batch_64of48x32", m: 64 * 48, n: 32,
-			prep: func() func() {
-				data := make([]uint64, 64*48*32)
-				FillSeq(data)
-				return func() {
-					if err := inplace.TransposeBatch(data, 64, 48, 32); err != nil {
-						panic(err)
-					}
-				}
-			},
-		},
-		{
-			// The out-of-core engine on a memory backend under a quarter
-			// budget: schedule, pipeline and panel kernels without disk
-			// noise. The shape alternates each op as the backend flips
-			// orientation.
-			name: "ooc_membacked_256x192_budget_quarter", m: 256, n: 192,
-			prep: func() func() {
-				mf := &memFile{b: make([]byte, 256*192*8)}
-				rows, cols := 256, 192
-				budget := int64(len(mf.b) / 4)
-				return func() {
-					if _, err := inplace.TransposeFile(mf, rows, cols, 8, inplace.OOCOptions{
-						Budget: budget, Workers: 1,
-					}); err != nil {
-						panic(err)
-					}
-					rows, cols = cols, rows
-				}
-			},
-		},
-		{
-			name: "aos_to_soa_200000x4", m: 200000, n: 4,
-			prep: func() func() {
-				data := make([]uint64, 200000*4)
-				FillSeq(data)
-				return func() {
-					if err := inplace.AOSToSOA(data, 200000, 4); err != nil {
-						panic(err)
-					}
-				}
-			},
-		},
+func dimsFor(scale Scale) microDims {
+	switch scale {
+	case TinyScale:
+		return microDims{
+			coldM: 64, coldN: 48,
+			warmM: 96, warmN: 64,
+			skinnyM: 8192, skinnyN: 8,
+			cachedM: 48, cachedN: 64,
+			batchCount: 16, batchM: 24, batchN: 16,
+			oocM: 64, oocN: 48,
+			aosM: 20000, aosN: 4,
+		}
+	case LargeScale, PaperScale:
+		return microDims{
+			coldM: 512, coldN: 384,
+			warmM: 1024, warmN: 768,
+			skinnyM: 400000, skinnyN: 8,
+			cachedM: 384, cachedN: 512,
+			batchCount: 64, batchM: 96, batchN: 64,
+			oocM: 512, oocN: 384,
+			aosM: 500000, aosN: 4,
+		}
+	default: // SmallScale: the dims of the historical micro suite
+		return microDims{
+			coldM: 256, coldN: 192,
+			warmM: 512, warmN: 384,
+			skinnyM: 100000, skinnyN: 8,
+			cachedM: 192, cachedN: 256,
+			batchCount: 64, batchM: 48, batchN: 32,
+			oocM: 256, oocN: 192,
+			aosM: 200000, aosN: 4,
+		}
 	}
+}
+
+// MicroMatrix enumerates the micro suite at one scale over the preset's
+// axes: every shape family at every worker count, and the out-of-core
+// family additionally at every scratch-budget divisor (budget =
+// file/div, clamped to the engine floor). Case names are fully
+// axis-qualified — family, dims, _w<workers> and _b<divisor> — so two
+// reports compare series by name only when every axis matches.
+func MicroMatrix(scale Scale, workers []int, budgetDivs []int) []MicroCase {
+	d := dimsFor(scale)
+	if len(workers) == 0 {
+		workers = []int{1}
+	}
+	if len(budgetDivs) == 0 {
+		budgetDivs = []int{4}
+	}
+	var cases []MicroCase
+	for _, w := range workers {
+		w := w
+		cases = append(cases,
+			MicroCase{
+				Name: fmt.Sprintf("transpose_cold_%dx%d_w%d", d.coldM, d.coldN, w),
+				M:    d.coldM, N: d.coldN, ElemBytes: 8,
+				Prep: func() func() {
+					data := gridBuf[uint64](d.coldM, d.coldN)
+					FillSeq(data)
+					return func() {
+						// Planning on the critical path: schedule + arena +
+						// cycles rebuilt every op.
+						pl, err := inplace.NewPlanner[uint64](d.coldM, d.coldN, inplace.Options{Workers: w})
+						if err != nil {
+							panic(err)
+						}
+						if err := pl.Execute(data); err != nil {
+							panic(err)
+						}
+					}
+				},
+			},
+			MicroCase{
+				Name: fmt.Sprintf("planner_warm_cacheaware_%dx%d_w%d", d.warmM, d.warmN, w),
+				M:    d.warmM, N: d.warmN, ElemBytes: 8,
+				Prep: warmPlanner(d.warmM, d.warmN, inplace.Options{Workers: w, Method: inplace.CacheAware}),
+			},
+			MicroCase{
+				Name: fmt.Sprintf("planner_warm_skinny_%dx%d_w%d", d.skinnyM, d.skinnyN, w),
+				M:    d.skinnyM, N: d.skinnyN, ElemBytes: 8,
+				Prep: warmPlanner(d.skinnyM, d.skinnyN, inplace.Options{
+					Workers: w, Method: inplace.SkinnyMethod, Direction: inplace.ForceC2R,
+				}),
+			},
+			MicroCase{
+				Name: fmt.Sprintf("transpose_cached_%dx%d_w%d", d.cachedM, d.cachedN, w),
+				M:    d.cachedM, N: d.cachedN, ElemBytes: 8,
+				Prep: func() func() {
+					data := gridBuf[uint64](d.cachedM, d.cachedN)
+					FillSeq(data)
+					return func() {
+						// The cached-planner ad-hoc path: plannerFor hit +
+						// Execute.
+						if err := inplace.TransposeWith(data, d.cachedM, d.cachedN, inplace.Options{Workers: w}); err != nil {
+							panic(err)
+						}
+					}
+				},
+			},
+			MicroCase{
+				Name: fmt.Sprintf("transpose_batch_%dof%dx%d_w%d", d.batchCount, d.batchM, d.batchN, w),
+				M:    d.batchCount * d.batchM, N: d.batchN, ElemBytes: 8,
+				Prep: func() func() {
+					data := gridBuf[uint64](d.batchCount*d.batchM, d.batchN)
+					FillSeq(data)
+					return func() {
+						if err := inplace.TransposeBatch(data, d.batchCount, d.batchM, d.batchN, inplace.Options{Workers: w}); err != nil {
+							panic(err)
+						}
+					}
+				},
+			},
+			MicroCase{
+				Name: fmt.Sprintf("aos_to_soa_%dx%d_w%d", d.aosM, d.aosN, w),
+				M:    d.aosM, N: d.aosN, ElemBytes: 8,
+				Prep: func() func() {
+					data := gridBuf[uint64](d.aosM, d.aosN)
+					FillSeq(data)
+					return func() {
+						if err := inplace.AOSToSOA(data, d.aosM, d.aosN, inplace.Options{Workers: w}); err != nil {
+							panic(err)
+						}
+					}
+				},
+			},
+		)
+		for _, div := range budgetDivs {
+			div := div
+			cases = append(cases, MicroCase{
+				Name: fmt.Sprintf("ooc_membacked_%dx%d_w%d_b%d", d.oocM, d.oocN, w, div),
+				M:    d.oocM, N: d.oocN, ElemBytes: 8,
+				Prep: func() func() {
+					// The out-of-core engine on a memory backend: schedule,
+					// pipeline and panel kernels without disk noise. The
+					// shape alternates each op as the backend flips
+					// orientation.
+					nbytes, ok := mathutil.CheckedMul(len(gridBuf[byte](d.oocM, d.oocN)), 8)
+					if !ok {
+						panic("bench: ooc micro shape overflows int")
+					}
+					mf := &memFile{b: make([]byte, nbytes)}
+					rows, cols := d.oocM, d.oocN
+					budget := int64(len(mf.b)) / int64(div)
+					return func() {
+						if _, err := inplace.TransposeFile(mf, rows, cols, 8, inplace.OOCOptions{
+							Budget: budget, Workers: w,
+						}); err != nil {
+							panic(err)
+						}
+						rows, cols = cols, rows
+					}
+				},
+			})
+		}
+	}
+	return cases
 }
 
 // warmPlanner builds the planner and warms its arena outside the
@@ -159,28 +225,65 @@ func warmPlanner(rows, cols int, o inplace.Options) func() func() {
 	}
 }
 
-// Micro runs the micro suite and returns the report.
-func Micro(cfg Config) MicroReport {
-	rep := MicroReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	for _, c := range microCases(cfg.workers()) {
-		c := c
-		r := testing.Benchmark(func(b *testing.B) {
-			body := c.prep()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				body()
-			}
-		})
-		ns := float64(r.T.Nanoseconds()) / float64(r.N)
-		bytes := 2 * float64(c.m) * float64(c.n) * 8
-		rep.Results = append(rep.Results, MicroResult{
-			Name:        c.name,
-			NsPerOp:     ns,
-			GBps:        bytes / ns, // ns/op and GB/s share the 1e9 factor
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+// MeasureMicro measures one case with the tuner's robust timing loop
+// (internal/tune.Measure) plus an exact allocation count, and returns
+// the envelope experiment: legacy median scalars plus the full ns/op and
+// GB/s sample series with their summaries.
+func MeasureMicro(c MicroCase, opts tune.MeasureOpts) benchfmt.Experiment {
+	body := c.Prep()
+	body() // warm: lazy cycle decompositions, arenas, pool spin-up
+	allocs, allocBytes := allocsPerOp(body, 2)
+
+	nsSamples := tune.Measure(body, opts)
+	bytes := 2 * float64(c.M) * float64(c.N) * float64(c.ElemBytes)
+	gbSamples := make([]float64, len(nsSamples))
+	for i, ns := range nsSamples {
+		gbSamples[i] = bytes / ns // ns/op and GB/s share the 1e9 factor
+	}
+	medNs := stats.Median(nsSamples)
+	return benchfmt.Experiment{
+		Name:        c.Name,
+		Kind:        benchfmt.KindMicro,
+		NsPerOp:     medNs,
+		GBps:        bytes / medNs,
+		AllocsPerOp: allocs,
+		BytesPerOp:  allocBytes,
+		Series: []benchfmt.Series{
+			{Name: "ns_per_op", Unit: "ns/op", Samples: nsSamples, Summary: stats.Summarize(nsSamples)},
+			{Name: "gbps", Unit: "GB/s", HigherIsBetter: true, Samples: gbSamples, Summary: stats.Summarize(gbSamples)},
+		},
+	}
+}
+
+// allocsPerOp counts heap allocations and allocated bytes per call of
+// body, testing.AllocsPerRun-style: GOMAXPROCS pinned to 1 so no
+// concurrent goroutine pollutes the counters, body warmed by the caller,
+// runs calls averaged (an even count so cases that flip orientation each
+// op average both directions).
+func allocsPerOp(body func(), runs int) (allocs, bytes int64) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		body()
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs-before.Mallocs) / int64(runs),
+		int64(after.TotalAlloc-before.TotalAlloc) / int64(runs)
+}
+
+// Micro runs the default micro matrix for cfg (the benchsuite
+// -bench-json path: single-worker plus the configured parallel budget,
+// quarter-file OOC budget) and returns the envelope report.
+func Micro(cfg Config) benchfmt.Report {
+	workers := []int{1}
+	if w := cfg.workers(); w > 1 {
+		workers = append(workers, w)
+	}
+	rep := benchfmt.New("micro-"+cfg.Scale.String(), 5, cfg.Seed)
+	opts := tune.MeasureOpts{Reps: 5, MinSample: time.Millisecond, MaxTotal: 200 * time.Millisecond}
+	for _, c := range MicroMatrix(cfg.Scale, workers, []int{4}) {
+		rep.Experiments = append(rep.Experiments, MeasureMicro(c, opts))
 	}
 	return rep
 }

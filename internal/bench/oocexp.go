@@ -8,6 +8,14 @@ import (
 	"inplace"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "ooc", Title: "out-of-core engine budget sweep on a temp file",
+		Axes: []string{"budget_bytes"}, Unit: "GB/s", Series: []string{"ooc"},
+		Run: OOC,
+	})
+}
+
 // memFile is a fixed-size in-memory Storage for the micro suite: it
 // isolates the engine's scheduling and kernel cost from disk noise.
 type memFile struct{ b []byte }

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+
+	"inplace/internal/benchfmt"
+	"inplace/internal/stats"
+)
+
+// The orchestrator runner behind cmd/benchorch: enumerate a preset's
+// micro matrix, measure every case with the tuner's robust timing loop,
+// capture the preset's registry experiments as series, and return the
+// versioned envelope.
+
+// RunPreset executes preset p with the given seed and returns the
+// report. match filters case and experiment-series names (nil = run
+// everything); progress, when non-nil, is called with each case name
+// before it is measured so CLIs can narrate long runs.
+func RunPreset(p Preset, seed int64, match func(string) bool, progress func(string)) benchfmt.Report {
+	if match == nil {
+		match = func(string) bool { return true }
+	}
+	if progress == nil {
+		progress = func(string) {}
+	}
+	rep := benchfmt.New(p.Name, p.Reps, seed)
+	opts := p.MeasureOpts()
+	for _, c := range MicroMatrix(p.Scale, p.Workers, p.BudgetDivs) {
+		if !match(c.Name) {
+			continue
+		}
+		progress(c.Name)
+		rep.Experiments = append(rep.Experiments, MeasureMicro(c, opts))
+	}
+	cfg := Config{Scale: p.Scale, Seed: seed}
+	for _, id := range p.Experiments {
+		exp := MustGet(id)
+		for _, res := range exp.Run(cfg) {
+			name := "exp:" + id + ":" + res.Name
+			if res.CSV == "" || !match(name) {
+				continue
+			}
+			if e, ok := seriesExperiment(name, exp, res.CSV); ok {
+				progress(name)
+				rep.Experiments = append(rep.Experiments, e)
+			}
+		}
+	}
+	return rep
+}
+
+// seriesExperiment converts one experiment Result's CSV into an envelope
+// entry: every measured (non-axis) column becomes a series whose samples
+// are the column values. Axis columns — the seeded workload inputs named
+// by the registry descriptor — are identification, not measurement, so
+// they are skipped.
+func seriesExperiment(name string, exp Experiment, csv string) (benchfmt.Experiment, bool) {
+	header, cols, ok := parseCSV(csv)
+	if !ok {
+		return benchfmt.Experiment{}, false
+	}
+	axis := make(map[string]bool, len(exp.Axes))
+	for _, a := range exp.Axes {
+		axis[a] = true
+	}
+	e := benchfmt.Experiment{Name: name, Kind: benchfmt.KindSeries}
+	for i, col := range header {
+		if axis[col] || len(cols[i]) == 0 {
+			continue
+		}
+		e.Series = append(e.Series, benchfmt.Series{
+			Name:           col,
+			Unit:           exp.Unit,
+			HigherIsBetter: exp.Unit == "GB/s",
+			Samples:        cols[i],
+			Summary:        stats.Summarize(cols[i]),
+		})
+	}
+	return e, len(e.Series) > 0
+}
+
+// parseCSV parses the harness's own CSV rendering (header line, float
+// rows) into per-column sample slices.
+func parseCSV(csv string) (header []string, cols [][]float64, ok bool) {
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 2 {
+		return nil, nil, false
+	}
+	header = strings.Split(lines[0], ",")
+	cols = make([][]float64, len(header))
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return nil, nil, false
+		}
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, nil, false
+			}
+			cols[i] = append(cols[i], v)
+		}
+	}
+	return header, cols, true
+}

@@ -6,6 +6,14 @@ import (
 	"inplace"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "planreuse", Title: "warm vs cold Planner throughput over the AoS workload",
+		Axes: []string{"count", "fields"}, Unit: "GB/s", Series: []string{"planreuse"},
+		Run: PlanReuse,
+	})
+}
+
 // PlanReuse measures the Planner API's amortization claim over the
 // AoS-like workload where planning cost matters most: for each sampled
 // shape, the same transpose runs cold (a fresh Planner per call, putting

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"time"
+
+	"inplace/internal/tune"
+)
+
+// Preset is one named point of the orchestrator's run matrix: a workload
+// scale, the worker-count and scratch-budget axes the micro suite is
+// enumerated over, the measurement discipline (repetitions and timing
+// caps fed to internal/tune's robust loop), and the registry experiments
+// whose CSV series the run additionally captures.
+type Preset struct {
+	Name        string
+	Scale       Scale
+	Workers     []int // worker-count axis (0 entries mean GOMAXPROCS)
+	BudgetDivs  []int // out-of-core scratch-budget axis: budget = file/div
+	Reps        int   // timed samples per case
+	MinSample   time.Duration
+	MaxCase     time.Duration // total timing budget per case
+	Experiments []string      // registry experiment ids captured as series
+}
+
+// MeasureOpts returns the preset's timing discipline for internal/tune.
+func (p Preset) MeasureOpts() tune.MeasureOpts {
+	return tune.MeasureOpts{Reps: p.Reps, MinSample: p.MinSample, MaxTotal: p.MaxCase}
+}
+
+// presets is the named matrix. quick is the CI gate: tiny shapes, one
+// worker, seconds of wall clock end to end. small/medium/large scale the
+// shapes, sweep more of the worker and budget axes and capture the
+// deterministic model experiments alongside.
+var presets = []Preset{
+	{
+		Name:  "quick",
+		Scale: TinyScale, Workers: []int{1}, BudgetDivs: []int{4},
+		Reps: 5, MinSample: 250 * time.Microsecond, MaxCase: 25 * time.Millisecond,
+	},
+	{
+		Name:  "small",
+		Scale: SmallScale, Workers: []int{1, 0}, BudgetDivs: []int{4},
+		Reps: 5, MinSample: time.Millisecond, MaxCase: 150 * time.Millisecond,
+	},
+	{
+		Name:  "medium",
+		Scale: SmallScale, Workers: []int{1, 2, 0}, BudgetDivs: []int{16, 4, 1},
+		Reps: 7, MinSample: 2 * time.Millisecond, MaxCase: 400 * time.Millisecond,
+		Experiments: []string{"locality"},
+	},
+	{
+		Name:  "large",
+		Scale: LargeScale, Workers: []int{1, 0}, BudgetDivs: []int{16, 4},
+		Reps: 5, MinSample: 5 * time.Millisecond, MaxCase: time.Second,
+		Experiments: []string{"locality", "gpusim"},
+	},
+}
+
+// Presets returns the named presets in definition order.
+func Presets() []Preset {
+	return append([]Preset(nil), presets...)
+}
+
+// LookupPreset resolves a preset by name.
+func LookupPreset(name string) (Preset, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// Register must reject broken descriptors at init time. All rejected
+// registrations panic before insertion, so the global registry is
+// untouched (the duplicate case reuses an already-registered id).
+func TestRegisterRejectsInvalidDescriptors(t *testing.T) {
+	run := func(Config) []Result { return nil }
+	before := len(IDs())
+	mustPanic(t, "empty id", func() {
+		Register(Experiment{Title: "t", Series: []string{"s"}, Run: run})
+	})
+	mustPanic(t, "nil run", func() {
+		Register(Experiment{ID: "zz-bad", Title: "t", Series: []string{"s"}})
+	})
+	mustPanic(t, "empty title", func() {
+		Register(Experiment{ID: "zz-bad", Series: []string{"s"}, Run: run})
+	})
+	mustPanic(t, "no series", func() {
+		Register(Experiment{ID: "zz-bad", Title: "t", Run: run})
+	})
+	mustPanic(t, "duplicate id", func() {
+		Register(Experiment{ID: "fig1", Title: "t", Series: []string{"s"}, Run: run})
+	})
+	if after := len(IDs()); after != before {
+		t.Fatalf("rejected registrations mutated the registry: %d -> %d ids", before, after)
+	}
+	mustPanic(t, "MustGet unknown", func() { MustGet("zz-missing") })
+}
+
+// The enumeration is the paper's artifact order, stable across calls,
+// and covers exactly the registered set.
+func TestEnumerationOrderStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(paperOrder) {
+		t.Fatalf("registry has %d experiments, paper order lists %d: %v", len(ids), len(paperOrder), ids)
+	}
+	for i, id := range ids {
+		if id != paperOrder[i] {
+			t.Fatalf("enumeration order diverged at %d: got %v", i, ids)
+		}
+		if _, ok := Get(id); !ok {
+			t.Fatalf("enumerated id %q not gettable", id)
+		}
+	}
+	again := IDs()
+	for i := range ids {
+		if again[i] != ids[i] {
+			t.Fatal("enumeration order not stable across calls")
+		}
+	}
+}
+
+// Every descriptor must name at least the Series its Run actually emits
+// at tiny scale, and declared axis columns must appear in the CSV
+// headers they describe.
+func TestDescriptorsMatchEmittedResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short")
+	}
+	cfg := Config{Scale: TinyScale, Workers: 2, Seed: 1}
+	for _, e := range All() {
+		declared := make(map[string]bool, len(e.Series))
+		for _, s := range e.Series {
+			declared[s] = true
+		}
+		for _, r := range e.Run(cfg) {
+			if !declared[r.Name] {
+				t.Errorf("%s emits undeclared result %q (declared: %v)", e.ID, r.Name, e.Series)
+			}
+			if r.CSV == "" {
+				continue
+			}
+			header, _, ok := parseCSV(r.CSV)
+			if !ok {
+				t.Errorf("%s result %q: unparsable CSV", e.ID, r.Name)
+				continue
+			}
+			cols := make(map[string]bool, len(header))
+			for _, h := range header {
+				cols[h] = true
+			}
+			for _, a := range e.Axes {
+				if !cols[a] {
+					t.Errorf("%s result %q: declared axis %q missing from CSV header %v", e.ID, r.Name, a, header)
+				}
+			}
+		}
+	}
+}
+
+// Two runs with the same Config must agree: Deterministic experiments
+// reproduce their full output byte for byte, and measured experiments
+// reproduce their structure — result names, CSV headers, row counts and
+// every seeded axis-column value — with only the measured columns free
+// to differ. Runs at tiny scale so it stays in -short.
+func TestSameSeedSameOutput(t *testing.T) {
+	cfg := Config{Scale: TinyScale, Workers: 2, Seed: 7}
+	for _, e := range All() {
+		a, b := e.Run(cfg), e.Run(cfg)
+		if len(a) != len(b) {
+			t.Errorf("%s: %d results then %d results", e.ID, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i].Name != b[i].Name {
+				t.Errorf("%s: result %d named %q then %q", e.ID, i, a[i].Name, b[i].Name)
+				continue
+			}
+			if e.Deterministic {
+				if a[i].Text != b[i].Text || a[i].CSV != b[i].CSV {
+					t.Errorf("%s: deterministic experiment output differs between runs (result %q)", e.ID, a[i].Name)
+				}
+				continue
+			}
+			checkStructureEqual(t, e, a[i], b[i])
+		}
+	}
+}
+
+// checkStructureEqual asserts the seed-determined skeleton of a measured
+// result: identical CSV header, row count and axis-column values.
+func checkStructureEqual(t *testing.T, e Experiment, a, b Result) {
+	t.Helper()
+	if (a.CSV == "") != (b.CSV == "") {
+		t.Errorf("%s result %q: CSV presence differs between runs", e.ID, a.Name)
+		return
+	}
+	if a.CSV == "" {
+		return
+	}
+	ha, ca, oka := parseCSV(a.CSV)
+	hb, cb, okb := parseCSV(b.CSV)
+	if !oka || !okb {
+		t.Errorf("%s result %q: unparsable CSV", e.ID, a.Name)
+		return
+	}
+	if strings.Join(ha, ",") != strings.Join(hb, ",") {
+		t.Errorf("%s result %q: headers differ: %v vs %v", e.ID, a.Name, ha, hb)
+		return
+	}
+	axis := make(map[string]bool, len(e.Axes))
+	for _, ax := range e.Axes {
+		axis[ax] = true
+	}
+	for i, col := range ha {
+		if len(ca[i]) != len(cb[i]) {
+			t.Errorf("%s result %q col %q: %d rows then %d rows", e.ID, a.Name, col, len(ca[i]), len(cb[i]))
+			continue
+		}
+		if !axis[col] {
+			continue
+		}
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				t.Errorf("%s result %q: axis %q row %d differs: %v vs %v — workload not seed-deterministic",
+					e.ID, a.Name, col, j, ca[i][j], cb[i][j])
+				break
+			}
+		}
+	}
+}
+
+// The orchestrator inherits determinism for series captures: running the
+// same preset and seed twice must produce identical experiment names and,
+// for deterministic registry experiments, identical sample sets.
+func TestRunPresetStructureDeterministic(t *testing.T) {
+	p := Preset{
+		Name: "test-det", Scale: TinyScale, Workers: []int{1}, BudgetDivs: []int{4},
+		Reps: 1, Experiments: []string{"locality"},
+	}
+	onlySeries := func(name string) bool { return strings.HasPrefix(name, "exp:") }
+	a := RunPreset(p, 7, onlySeries, nil)
+	b := RunPreset(p, 7, onlySeries, nil)
+	if len(a.Experiments) == 0 {
+		t.Fatal("preset captured no series")
+	}
+	if len(a.Experiments) != len(b.Experiments) {
+		t.Fatalf("%d experiments then %d", len(a.Experiments), len(b.Experiments))
+	}
+	for i := range a.Experiments {
+		ea, eb := a.Experiments[i], b.Experiments[i]
+		if ea.Name != eb.Name || ea.Kind != eb.Kind {
+			t.Fatalf("experiment %d: %q/%q then %q/%q", i, ea.Name, ea.Kind, eb.Name, eb.Kind)
+		}
+		// locality is a deterministic model: full sample equality.
+		if len(ea.Series) != len(eb.Series) {
+			t.Fatalf("%s: %d series then %d", ea.Name, len(ea.Series), len(eb.Series))
+		}
+		for j := range ea.Series {
+			sa, sb := ea.Series[j], eb.Series[j]
+			if sa.Name != sb.Name || len(sa.Samples) != len(sb.Samples) {
+				t.Fatalf("%s series %q vs %q: shape differs", ea.Name, sa.Name, sb.Name)
+			}
+			for k := range sa.Samples {
+				if sa.Samples[k] != sb.Samples[k] {
+					t.Fatalf("%s series %q sample %d: %v vs %v", ea.Name, sa.Name, k, sa.Samples[k], sb.Samples[k])
+				}
+			}
+		}
+	}
+}

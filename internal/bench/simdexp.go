@@ -8,6 +8,21 @@ import (
 	"inplace/internal/simd"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "fig8", Title: "modeled unit-stride AoS store/copy bandwidth vs structure size",
+		Axes: []string{"struct_bytes"}, Unit: "GB/s", Series: []string{"fig8a", "fig8b"},
+		Deterministic: true,
+		Run:           Fig8,
+	})
+	Register(Experiment{
+		ID: "fig9", Title: "modeled random AoS scatter/gather bandwidth vs structure size",
+		Axes: []string{"struct_bytes"}, Unit: "GB/s", Series: []string{"fig9a", "fig9b"},
+		Deterministic: true,
+		Run:           Fig9,
+	})
+}
+
 // Figures 8 and 9: Array-of-Structures vector memory accesses on the
 // modeled SIMD processor. For each structure size the simulated warp
 // performs the access pattern with each strategy over the modeled memory,

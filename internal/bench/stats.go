@@ -149,10 +149,18 @@ func RenderTable(title string, rows []Row) string {
 	return b.String()
 }
 
-// CSV renders a simple comma-separated table with a header.
+// CSV renders a simple comma-separated table with a header. Commas
+// inside column names (the Figure 3 method labels) would desync the
+// header from the float rows, so they are rewritten to semicolons — the
+// emitted text stays parseable by any naive comma splitter.
 func CSV(header []string, rows [][]float64) string {
 	var b strings.Builder
-	b.WriteString(strings.Join(header, ","))
+	for i, h := range header {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strings.ReplaceAll(h, ",", ";"))
+	}
 	b.WriteByte('\n')
 	for _, r := range rows {
 		for i, v := range r {

@@ -7,6 +7,14 @@ import (
 	"inplace"
 )
 
+func init() {
+	Register(Experiment{
+		ID: "tuned", Title: "measured (wisdom) vs heuristic plan selection",
+		Axes: []string{"m", "n"}, Unit: "GB/s", Series: []string{"tuned"},
+		Run: Tuned,
+	})
+}
+
 // tunedShapes returns the shape set the tuned experiment races: a mix
 // of near-square (direction/variant crossover territory), skinny AoS
 // (cycle-following territory) and wide shapes, scaled to the workload

@@ -1,0 +1,248 @@
+package benchfmt
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inplace/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden testdata files")
+
+// sample builds a small but fully populated current-version report.
+func sample() Report {
+	r := New("quick", 5, 2014)
+	// Pin the environment so the golden bytes are host-independent.
+	r.Env = Env{GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, NumCPU: 4}
+	r.GoVersion = r.Env.GoVersion
+	r.GOMAXPROCS = r.Env.GOMAXPROCS
+	ns := []float64{100, 110, 105, 102, 108}
+	gb := []float64{1.5, 1.4, 1.45, 1.48, 1.42}
+	r.Experiments = []Experiment{
+		{
+			Name: "transpose_cold_64x48_w1", Kind: KindMicro,
+			NsPerOp: 105, GBps: 1.45, AllocsPerOp: 0, BytesPerOp: 0,
+			Series: []Series{
+				{Name: "ns_per_op", Unit: "ns/op", Samples: ns, Summary: stats.Summarize(ns)},
+				{Name: "gbps", Unit: "GB/s", HigherIsBetter: true, Samples: gb, Summary: stats.Summarize(gb)},
+			},
+		},
+		{
+			Name: "exp:locality:locality_misses", Kind: KindSeries,
+			Series: []Series{
+				{Name: "misses", Unit: "miss/elem", Samples: []float64{0.5, 0.25}, Summary: stats.Summarize([]float64{0.5, 0.25})},
+			},
+		},
+	}
+	return r
+}
+
+// Encode → Decode → Encode must be byte-identical: the envelope is a
+// canonical serialization, so baselines diff cleanly under git.
+func TestRoundTripByteIdentical(t *testing.T) {
+	var first bytes.Buffer
+	if err := Encode(&first, sample()); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := Encode(&second, dec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+	}
+}
+
+// The checked-in golden file pins the on-disk schema: decoding it and
+// re-encoding must reproduce its exact bytes, so any accidental schema
+// drift (field rename, ordering change, indentation change) fails here
+// instead of corrupting the BENCH_PR*.json trajectory.
+func TestGoldenFileStable(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(path, sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := Encode(&got, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("golden file does not round-trip byte-identically; schema drifted?\ngot:\n%s", got.Bytes())
+	}
+	if rep.Version != 1 || rep.Preset != "quick" || rep.Seed != 2014 {
+		t.Fatalf("golden header wrong: %+v", rep)
+	}
+}
+
+// Unknown fields from a newer writer must be ignored, not rejected.
+func TestDecodeToleratesUnknownFields(t *testing.T) {
+	in := `{
+  "version": 1,
+  "future_top_level": {"nested": true},
+  "go_version": "go1.99",
+  "gomaxprocs": 1,
+  "env": {"go_version": "go1.99", "goos": "plan9", "goarch": "riscv", "gomaxprocs": 1, "num_cpu": 1, "future_env": 7},
+  "experiments": [
+    {"name": "x", "ns_per_op": 1, "gbps": 2, "allocs_per_op": 0, "alloc_bytes_per_op": 0, "future_exp_field": "yes"}
+  ]
+}`
+	rep, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("unknown fields rejected: %v", err)
+	}
+	if e, ok := rep.Find("x"); !ok || e.GBps != 2 {
+		t.Fatalf("known fields lost alongside unknown ones: %+v", rep)
+	}
+}
+
+// Version skew is tolerated in both directions: a missing version field
+// is the legacy (version 0) micro-report schema, and versions newer than
+// this reader decode best-effort.
+func TestDecodeVersionSkew(t *testing.T) {
+	legacy := `{"go_version": "go1.22", "gomaxprocs": 2, "experiments": [{"name": "old", "ns_per_op": 5, "gbps": 1, "allocs_per_op": 3, "alloc_bytes_per_op": 64}]}`
+	rep, err := Decode(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy report rejected: %v", err)
+	}
+	if rep.Version != 0 {
+		t.Fatalf("missing version decoded as %d, want 0", rep.Version)
+	}
+	if e, ok := rep.Find("old"); !ok || e.AllocsPerOp != 3 {
+		t.Fatalf("legacy experiment lost: %+v", rep)
+	}
+
+	newer := `{"version": 99, "go_version": "go9", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "n", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0}]}`
+	rep, err = Decode(strings.NewReader(newer))
+	if err != nil {
+		t.Fatalf("newer version rejected: %v", err)
+	}
+	if rep.Version != 99 {
+		t.Fatalf("version not preserved: %d", rep.Version)
+	}
+}
+
+// The repo root's historical BENCH_PR*.json trajectory files must keep
+// loading through this decoder forever.
+func TestDecodeLegacyTrajectoryFiles(t *testing.T) {
+	for _, name := range []string{"BENCH_PR2.json", "BENCH_PR5.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("%s not present: %v", name, err)
+		}
+		rep, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Version != 0 {
+			t.Errorf("%s: legacy file decoded as version %d", name, rep.Version)
+		}
+		if len(rep.Experiments) == 0 || rep.GoVersion == "" {
+			t.Errorf("%s: legacy payload lost: %+v", name, rep)
+		}
+	}
+}
+
+// Every decode failure must wrap ErrCorrupt and carry the diagnostic in
+// its message, mirroring internal/ooc's error-constructor matrix.
+func TestDecodeCorruptMatrix(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		contains []string
+	}{
+		{"syntax", `{"version": 1,`, []string{"decoding"}},
+		{"wrong type", `[1, 2, 3]`, []string{"decoding"}},
+		{"negative version", `{"version": -1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": []}`, []string{"negative version", "-1"}},
+		{"negative reps", `{"version": 1, "reps": -2, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": []}`, []string{"negative reps"}},
+		{"empty experiment name", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0}]}`, []string{"empty name"}},
+		{"duplicate experiment", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "a", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0}, {"name": "a", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0}]}`, []string{"duplicate experiment", `"a"`}},
+		{"unknown kind", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "a", "kind": "macro", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0}]}`, []string{"unknown kind", "macro"}},
+		{"negative allocs", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "a", "ns_per_op": 1, "gbps": 1, "allocs_per_op": -1, "alloc_bytes_per_op": 0}]}`, []string{"negative alloc"}},
+		{"empty series name", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "a", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0, "series": [{"name": "", "unit": "u", "summary": {"n": 0, "mean": 0, "trimmed_mean": 0, "median": 0, "mad": 0, "min": 0, "max": 0, "ci_lo": 0, "ci_hi": 0}}]}]}`, []string{"series with empty name"}},
+		{"duplicate series", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "a", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0, "series": [{"name": "s", "unit": "u", "summary": {"n": 0, "mean": 0, "trimmed_mean": 0, "median": 0, "mad": 0, "min": 0, "max": 0, "ci_lo": 0, "ci_hi": 0}}, {"name": "s", "unit": "u", "summary": {"n": 0, "mean": 0, "trimmed_mean": 0, "median": 0, "mad": 0, "min": 0, "max": 0, "ci_lo": 0, "ci_hi": 0}}]}]}`, []string{"duplicate series", `"s"`}},
+		{"summary/sample mismatch", `{"version": 1, "go_version": "g", "gomaxprocs": 1, "env": {}, "experiments": [{"name": "a", "ns_per_op": 1, "gbps": 1, "allocs_per_op": 0, "alloc_bytes_per_op": 0, "series": [{"name": "s", "unit": "u", "samples": [1, 2, 3], "summary": {"n": 2, "mean": 0, "trimmed_mean": 0, "median": 0, "mad": 0, "min": 0, "max": 0, "ci_lo": 0, "ci_hi": 0}}]}]}`, []string{"n=2", "3 samples"}},
+	}
+	for _, c := range cases {
+		_, err := Decode(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: decode accepted corrupt input", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: %v does not wrap ErrCorrupt", c.name, err)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: %v is not a *FormatError", c.name, err)
+		}
+		for _, want := range c.contains {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: %q missing %q", c.name, err.Error(), want)
+			}
+		}
+	}
+}
+
+// Encode refuses to produce a file its own Decode would reject.
+func TestEncodeRejectsInvalid(t *testing.T) {
+	r := sample()
+	r.Experiments[0].Name = ""
+	err := Encode(&bytes.Buffer{}, r)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("encode of invalid report: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFindHelpers(t *testing.T) {
+	r := sample()
+	if _, ok := r.Find("nope"); ok {
+		t.Error("Find found a missing experiment")
+	}
+	e, ok := r.Find("transpose_cold_64x48_w1")
+	if !ok {
+		t.Fatal("Find missed an existing experiment")
+	}
+	if s, ok := e.FindSeries("gbps"); !ok || !s.HigherIsBetter {
+		t.Fatalf("FindSeries wrong: %+v ok=%v", s, ok)
+	}
+	if _, ok := e.FindSeries("nope"); ok {
+		t.Error("FindSeries found a missing series")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	want := sample()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Preset != want.Preset || len(got.Experiments) != len(want.Experiments) {
+		t.Fatalf("file round trip lost data: %+v", got)
+	}
+}

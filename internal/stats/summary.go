@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Robust per-series digests for the benchmark envelope (internal/benchfmt)
+// and the compare gate (cmd/benchorch): short wall-clock sample sets carry
+// scheduler outliers, so the summaries lean on trimmed means and
+// MAD-scaled confidence intervals rather than raw means and standard
+// deviations.
+
+// Summary digests one sample series. The zero value is the summary of an
+// empty series: every field is zero (never NaN), so summaries always
+// serialize cleanly as JSON.
+type Summary struct {
+	N           int     `json:"n"`
+	Mean        float64 `json:"mean"`
+	TrimmedMean float64 `json:"trimmed_mean"`
+	Median      float64 `json:"median"`
+	MAD         float64 `json:"mad"`
+	Min         float64 `json:"min"`
+	Max         float64 `json:"max"`
+	CILo        float64 `json:"ci_lo"`
+	CIHi        float64 `json:"ci_hi"`
+}
+
+// trimFrac is the per-tail trim fraction of the envelope's trimmed mean:
+// 20% off each end, the conventional midsummary that survives the one or
+// two descheduled samples a short benchmark run collects.
+const trimFrac = 0.2
+
+// ciZ is the 95% normal quantile used by MedianCI.
+const ciZ = 1.96
+
+// madToSigma rescales a MAD to a normal-consistent standard deviation
+// (1 / Phi^-1(3/4)).
+const madToSigma = 1.4826
+
+// Summarize digests xs. An empty series yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	min, max := MinMax(xs)
+	lo, hi := MedianCI(xs, ciZ)
+	return Summary{
+		N:           len(xs),
+		Mean:        Mean(xs),
+		TrimmedMean: TrimmedMean(xs, trimFrac),
+		Median:      Median(xs),
+		MAD:         MAD(xs),
+		Min:         min,
+		Max:         max,
+		CILo:        lo,
+		CIHi:        hi,
+	}
+}
+
+// TrimmedMean returns the mean of xs after dropping floor(frac*n) samples
+// from each end of the sorted order. The trim is clamped so at least one
+// sample always survives; NaN for empty input.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	k := int(frac * float64(n))
+	if 2*k >= n {
+		k = (n - 1) / 2
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s[k : n-k] {
+		sum += x
+	}
+	return sum / float64(n-2*k)
+}
+
+// MAD returns the median absolute deviation from the median, the
+// envelope's robust spread measure. NaN for empty input, 0 for a single
+// sample.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// MedianCI returns a normal-approximation confidence interval for the
+// median: median ± z·1.4826·MAD/sqrt(n). With all samples equal (MAD 0)
+// the interval collapses to a point, so consumers pair it with a relative
+// noise floor. NaN bounds for empty input.
+func MedianCI(xs []float64, z float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	med := Median(xs)
+	half := z * madToSigma * MAD(xs) / math.Sqrt(float64(len(xs)))
+	return med - half, med + half
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestTrimmedMeanHandComputed(t *testing.T) {
+	// n=5, frac=0.2 drops one sample from each end: mean(2,3,4) = 3,
+	// the 100 outlier gone.
+	approx(t, "trimmed([1,2,3,4,100], .2)", TrimmedMean([]float64{1, 2, 3, 4, 100}, 0.2), 3, 1e-12)
+	// n=4, frac=0.25 drops one per end: mean(2,3) = 2.5.
+	approx(t, "trimmed([1,2,3,4], .25)", TrimmedMean([]float64{4, 1, 3, 2}, 0.25), 2.5, 1e-12)
+	// No trim when frac*n rounds to zero.
+	approx(t, "trimmed([1,2,3,4], .2)", TrimmedMean([]float64{1, 2, 3, 4}, 0.2), 2.5, 1e-12)
+	// The trim clamps so one sample survives: frac 0.5 on n=3 keeps the
+	// median.
+	approx(t, "trimmed([1,2,30], .5)", TrimmedMean([]float64{1, 2, 30}, 0.5), 2, 1e-12)
+	// Single sample survives any frac.
+	approx(t, "trimmed([5], .4)", TrimmedMean([]float64{5}, 0.4), 5, 1e-12)
+	// Negative frac behaves as no trim.
+	approx(t, "trimmed([1,3], -1)", TrimmedMean([]float64{1, 3}, -1), 2, 1e-12)
+	if !math.IsNaN(TrimmedMean(nil, 0.2)) {
+		t.Error("trimmed mean of empty must be NaN")
+	}
+}
+
+func TestMADHandComputed(t *testing.T) {
+	// median 3, |devs| = [2,1,0,1,97], median dev = 1.
+	approx(t, "MAD([1,2,3,4,100])", MAD([]float64{1, 2, 3, 4, 100}), 1, 1e-12)
+	// All equal: zero spread.
+	approx(t, "MAD([7,7,7])", MAD([]float64{7, 7, 7}), 0, 1e-12)
+	// Single sample: zero, not NaN.
+	approx(t, "MAD([42])", MAD([]float64{42}), 0, 1e-12)
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD of empty must be NaN")
+	}
+	// MAD must not mutate its input ordering assumptions: unsorted input.
+	approx(t, "MAD([4,1,3,100,2])", MAD([]float64{4, 1, 3, 100, 2}), 1, 1e-12)
+}
+
+func TestMedianCIHandComputed(t *testing.T) {
+	// xs = [2,4,6]: median 4, MAD 2, half-width = z*1.4826*2/sqrt(3).
+	lo, hi := MedianCI([]float64{2, 4, 6}, 1.96)
+	wantHalf := 1.96 * 1.4826 * 2 / math.Sqrt(3)
+	approx(t, "ci lo", lo, 4-wantHalf, 1e-12)
+	approx(t, "ci hi", hi, 4+wantHalf, 1e-12)
+
+	// Single sample: the interval collapses to the point.
+	lo, hi = MedianCI([]float64{9}, 1.96)
+	if lo != 9 || hi != 9 {
+		t.Errorf("single-sample CI = [%v, %v], want [9, 9]", lo, hi)
+	}
+
+	// Empty: NaN bounds.
+	lo, hi = MedianCI(nil, 1.96)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("empty CI = [%v, %v], want NaNs", lo, hi)
+	}
+}
+
+func TestSummarizeHandComputed(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 {
+		t.Fatalf("n = %d", s.N)
+	}
+	approx(t, "mean", s.Mean, 22, 1e-12)
+	approx(t, "median", s.Median, 3, 1e-12)
+	approx(t, "trimmed", s.TrimmedMean, 3, 1e-12)
+	approx(t, "mad", s.MAD, 1, 1e-12)
+	approx(t, "min", s.Min, 1, 1e-12)
+	approx(t, "max", s.Max, 100, 1e-12)
+	wantHalf := 1.96 * 1.4826 * 1 / math.Sqrt(5)
+	approx(t, "ci lo", s.CILo, 3-wantHalf, 1e-12)
+	approx(t, "ci hi", s.CIHi, 3+wantHalf, 1e-12)
+}
+
+// The empty summary is the zero value — no NaNs — so it always
+// marshals as JSON (the envelope's requirement).
+func TestSummarizeEmptyIsJSONSafe(t *testing.T) {
+	s := Summarize(nil)
+	if s != (Summary{}) {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty summary does not marshal: %v", err)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Median != 3.5 || s.TrimmedMean != 3.5 ||
+		s.MAD != 0 || s.Min != 3.5 || s.Max != 3.5 || s.CILo != 3.5 || s.CIHi != 3.5 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}

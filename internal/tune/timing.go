@@ -1,0 +1,69 @@
+package tune
+
+import "time"
+
+// The tuner's robust wall-clock measurement loop, exported so other
+// harnesses (cmd/benchorch's orchestrator runs in particular) measure
+// with the same discipline the autotuner trusts its decisions to:
+// batch until a sample is long enough for the timer, repeat for a
+// bounded number of samples under a total budget, and let the caller
+// summarize with the robust statistics of internal/stats.
+
+// MeasureOpts bounds one robust measurement. The zero value gets the
+// tuner's defaults.
+type MeasureOpts struct {
+	// Reps is the target number of samples; 0 means 5.
+	Reps int
+	// MinSample is the minimum wall time of one sample: run is batched
+	// until a sample takes at least this long, so timer granularity and
+	// per-call jitter amortize away. 0 means 1ms.
+	MinSample time.Duration
+	// MaxTotal caps the total measurement time; remaining reps are
+	// dropped once it is exceeded. 0 means 80ms.
+	MaxTotal time.Duration
+}
+
+func (o MeasureOpts) withDefaults() MeasureOpts {
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.MinSample <= 0 {
+		o.MinSample = time.Millisecond
+	}
+	if o.MaxTotal <= 0 {
+		o.MaxTotal = 80 * time.Millisecond
+	}
+	return o
+}
+
+// Measure times run and returns per-call nanosecond samples, at least
+// one and at most o.Reps. The caller is expected to have warmed run
+// (first-call effects like lazy plan decomposition belong outside the
+// measured region) and to reduce the samples robustly — the tuner takes
+// stats.Median, the bench orchestrator keeps the whole set.
+func Measure(run func(), o MeasureOpts) []float64 {
+	o = o.withDefaults()
+	start := time.Now()
+	// Calibrate the per-sample batch size against MinSample.
+	iters := 1
+	d := TimeRuns(run, 1)
+	for d < o.MinSample && iters < 1<<20 {
+		iters *= 2
+		d = TimeRuns(run, iters)
+	}
+	samples := []float64{float64(d.Nanoseconds()) / float64(iters)}
+	for len(samples) < o.Reps && time.Since(start) < o.MaxTotal {
+		d = TimeRuns(run, iters)
+		samples = append(samples, float64(d.Nanoseconds())/float64(iters))
+	}
+	return samples
+}
+
+// TimeRuns returns the wall time of iters back-to-back calls of run.
+func TimeRuns(run func(), iters int) time.Duration {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		run()
+	}
+	return time.Since(start)
+}

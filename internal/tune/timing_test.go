@@ -1,0 +1,62 @@
+package tune
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureOptsDefaults(t *testing.T) {
+	o := MeasureOpts{}.withDefaults()
+	if o.Reps != 5 || o.MinSample != time.Millisecond || o.MaxTotal != 80*time.Millisecond {
+		t.Fatalf("zero-value defaults wrong: %+v", o)
+	}
+	// Explicit values pass through untouched.
+	o = MeasureOpts{Reps: 3, MinSample: time.Microsecond, MaxTotal: time.Second}.withDefaults()
+	if o.Reps != 3 || o.MinSample != time.Microsecond || o.MaxTotal != time.Second {
+		t.Fatalf("explicit opts rewritten: %+v", o)
+	}
+}
+
+func TestMeasureSampleCountAndPositivity(t *testing.T) {
+	calls := 0
+	run := func() { calls++; time.Sleep(50 * time.Microsecond) }
+	samples := Measure(run, MeasureOpts{Reps: 4, MinSample: 100 * time.Microsecond, MaxTotal: time.Second})
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	for i, s := range samples {
+		if s <= 0 {
+			t.Fatalf("sample %d not positive: %v", i, s)
+		}
+	}
+	if calls < 4 {
+		t.Fatalf("run called only %d times", calls)
+	}
+}
+
+// A MaxTotal shorter than the work still yields at least one sample —
+// the gate can always form a verdict.
+func TestMeasureBudgetCapStillSamples(t *testing.T) {
+	run := func() { time.Sleep(2 * time.Millisecond) }
+	samples := Measure(run, MeasureOpts{Reps: 50, MinSample: time.Microsecond, MaxTotal: 5 * time.Millisecond})
+	if len(samples) == 0 {
+		t.Fatal("no samples under a tight budget")
+	}
+	if len(samples) >= 50 {
+		t.Fatalf("budget cap ignored: %d samples", len(samples))
+	}
+}
+
+// Batch calibration amortizes sub-granularity work: per-call samples of
+// a trivial function must come out far below MinSample, proving the
+// batching divided by iters.
+func TestMeasureCalibratesBatches(t *testing.T) {
+	x := 0
+	run := func() { x++ }
+	samples := Measure(run, MeasureOpts{Reps: 3, MinSample: time.Millisecond, MaxTotal: 100 * time.Millisecond})
+	for _, s := range samples {
+		if s > float64(100*time.Microsecond) {
+			t.Fatalf("per-call sample %vns way above a trivial call; batching broken", s)
+		}
+	}
+}

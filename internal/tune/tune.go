@@ -257,26 +257,10 @@ func (m *measurer[T]) measure(c Candidate) float64 {
 	}
 	run() // warm the scratch arena and the lazy cycle decomposition
 
-	start := time.Now()
-	// Calibrate the per-sample batch size against MinSample.
-	iters := 1
-	d := timeRuns(run, 1)
-	for d < m.cfg.MinSample && iters < 1<<20 {
-		iters *= 2
-		d = timeRuns(run, iters)
-	}
-	samples := []float64{float64(d.Nanoseconds()) / float64(iters)}
-	for len(samples) < m.cfg.Reps && time.Since(start) < m.cfg.MaxCandidate {
-		d = timeRuns(run, iters)
-		samples = append(samples, float64(d.Nanoseconds())/float64(iters))
-	}
+	samples := Measure(run, MeasureOpts{
+		Reps:      m.cfg.Reps,
+		MinSample: m.cfg.MinSample,
+		MaxTotal:  m.cfg.MaxCandidate,
+	})
 	return stats.Median(samples)
-}
-
-func timeRuns(run func(), iters int) time.Duration {
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		run()
-	}
-	return time.Since(start)
 }
