@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet lint vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke clean
+.PHONY: ci vet lint vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke clean
 
 # ci is the full gate: static checks (vet plus the xposelint suite),
 # build, tests, the race detector (short mode keeps the race shapes
 # small), a capped autotuner run, an out-of-core round trip on a real
-# temp file, the benchmark regression gate against the committed
-# baseline, and a best-effort vulnerability scan.
-ci: vet lint build test race tune-smoke ooc-smoke bench-gate vuln
+# temp file, the daemon selftest, the benchmark regression gate against
+# the committed baseline, and a best-effort vulnerability scan.
+ci: vet lint build test race tune-smoke ooc-smoke serve-smoke bench-gate vuln
 
 vet:
 	$(GO) vet ./...
@@ -86,6 +86,13 @@ tune-smoke:
 ooc-smoke:
 	$(GO) run ./cmd/xposeooc -selftest -budget 64k
 	$(GO) test -race -run 'TestTransposeFile|TestResumeAfterKill' . ./internal/ooc
+
+# serve-smoke boots the xposed daemon in-process and runs its
+# acceptance demo: 64 concurrent clients over TCP with plan sharing and
+# coalescing, a spilled job killed mid-upload and resumed across a
+# server restart, and every claim re-checked from the /stats scrape.
+serve-smoke:
+	$(GO) run ./cmd/xposed -selftest
 
 # clean keeps results/bench-baseline.json: it is committed (the
 # bench-gate reference), not a build product.

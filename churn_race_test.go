@@ -1,0 +1,96 @@
+package inplace
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestWisdomChurnRace exercises the daemon's sharing model under the
+// race detector: many goroutines Execute through one shared Planner
+// and hit the global planner cache while others concurrently Tune,
+// SaveWisdom and LoadWisdom. No assertions beyond correctness — the
+// point is that -race stays quiet while wisdom churns.
+func TestWisdomChurnRace(t *testing.T) {
+	const rows, cols = 48, 64
+	path := filepath.Join(t.TempDir(), "wisdom")
+
+	pl, err := NewPlanner[uint32](rows, cols)
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	want := make([]uint32, rows*cols)
+	for i := range want {
+		want[i] = uint32(i)
+	}
+	ref := make([]uint32, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ref[c*rows+r] = want[r*cols+c]
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+
+	// Executors: shared-Planner path and the global cache path.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := make([]uint32, rows*cols)
+			for iter := 0; iter < 20; iter++ {
+				copy(data, want)
+				if err := pl.Execute(data); err != nil {
+					errc <- err
+					return
+				}
+				for i := range data {
+					if data[i] != ref[i] {
+						errc <- fmt.Errorf("planner result wrong at %d", i)
+						return
+					}
+				}
+				copy(data, want)
+				if err := Transpose(data, rows, cols); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Churners: tuning rewrites wisdom entries while save/load cycles
+	// the whole table through disk.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 4; iter++ {
+			if _, err := Tune[uint32](rows, cols, TuneConfig{Fast: true, Reps: 1}); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 10; iter++ {
+			if err := SaveWisdom(path); err != nil {
+				errc <- err
+				return
+			}
+			if err := LoadWisdom(path); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -38,7 +38,7 @@ import (
 // cfg.ElemSize-byte elements stored on data, in place on the backend,
 // within cfg.Budget bytes of resident scratch. Afterwards data holds
 // the row-major Cols×Rows transpose.
-func Run(data Backend, cfg Config) (Stats, error) {
+func Run(data Backend, cfg Config) (_ Stats, err error) {
 	sched, err := newSchedule(cfg)
 	if err != nil {
 		return Stats{}, err
@@ -52,6 +52,9 @@ func Run(data Backend, cfg Config) (Stats, error) {
 	}
 
 	r := &runner{cfg: cfg, sched: sched, data: data}
+	// Fold this run's counters into the process-wide registry aggregates
+	// on every exit path (identity no-ops and config errors excluded).
+	defer func() { r.ctr.publish(err != nil) }()
 	r.pf = func(n int, body func(lo, hi int)) { body(0, n) }
 	if sched.workers > 1 {
 		pool := parallel.Shared()

@@ -61,6 +61,42 @@ type Stats struct {
 	Passes int
 }
 
+// Cumulative process-wide out-of-core metrics, registered on the
+// default stats registry so exporters (the xposed /stats endpoint)
+// enumerate them alongside the planner-cache counters. Per-run Stats
+// snapshots stay the precise per-call surface; these aggregate across
+// every run in the process.
+var global = struct {
+	runs, failures               *stats.Counter
+	bytesRead, bytesWritten      *stats.Counter
+	segsTransformed, segsSkipped *stats.Counter
+	segsRestored, journalBytes   *stats.Counter
+}{
+	runs:            stats.Default().Counter("ooc_runs"),
+	failures:        stats.Default().Counter("ooc_failures"),
+	bytesRead:       stats.Default().Counter("ooc_bytes_read"),
+	bytesWritten:    stats.Default().Counter("ooc_bytes_written"),
+	segsTransformed: stats.Default().Counter("ooc_segments_transformed"),
+	segsSkipped:     stats.Default().Counter("ooc_segments_skipped"),
+	segsRestored:    stats.Default().Counter("ooc_segments_restored"),
+	journalBytes:    stats.Default().Counter("ooc_journal_bytes"),
+}
+
+// publish folds one run's counters into the process-wide aggregates.
+// Called exactly once per Run, on every exit path.
+func (c *counters) publish(failed bool) {
+	global.runs.Inc()
+	if failed {
+		global.failures.Inc()
+	}
+	global.bytesRead.Add(c.bytesRead.Load())
+	global.bytesWritten.Add(c.bytesWritten.Load())
+	global.segsTransformed.Add(c.segmentsTransformed.Load())
+	global.segsSkipped.Add(c.segmentsSkipped.Load())
+	global.segsRestored.Add(c.segmentsRestored.Load())
+	global.journalBytes.Add(c.journalBytes.Load())
+}
+
 // snapshot freezes the counters into a Stats.
 func (c *counters) snapshot(passes int) Stats {
 	return Stats{

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inplace/internal/stats"
+)
+
+func TestAdmitImmediate(t *testing.T) {
+	a := newAdmitter(1000, time.Second, 8, stats.NewRegistry())
+	rel, err := a.Admit(600)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if got := a.InFlight(); got != 600 {
+		t.Fatalf("InFlight = %d, want 600", got)
+	}
+	rel()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmitTooLarge(t *testing.T) {
+	a := newAdmitter(1000, time.Second, 8, stats.NewRegistry())
+	if _, err := a.Admit(1001); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestAdmitQueuesAndGrantsFIFO(t *testing.T) {
+	a := newAdmitter(100, 5*time.Second, 8, stats.NewRegistry())
+	rel, err := a.Admit(100)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger so queue order is deterministic.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			r, err := a.Admit(100)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+	}
+	close(start)
+	time.Sleep(120 * time.Millisecond) // let all three enqueue
+	rel()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want FIFO [0 1 2]", order)
+		}
+	}
+}
+
+func TestAdmitShedsOnDeadline(t *testing.T) {
+	a := newAdmitter(100, 30*time.Millisecond, 8, stats.NewRegistry())
+	rel, err := a.Admit(100)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer rel()
+	_, err = a.Admit(50)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", shed.RetryAfter)
+	}
+}
+
+func TestAdmitShedsOnFullQueue(t *testing.T) {
+	a := newAdmitter(100, time.Second, 1, stats.NewRegistry())
+	rel, _ := a.Admit(100)
+	defer rel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Occupies the single queue slot until the budget frees.
+		if r, err := a.Admit(10); err == nil {
+			r()
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := a.Admit(10); err == nil {
+		t.Fatal("expected shed with full queue")
+	} else {
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("err = %v, want *ShedError", err)
+		}
+	}
+	rel()
+	<-done
+}
+
+// TestAdmitBudgetNeverExceeded hammers the controller from many
+// goroutines and asserts the invariant the /stats peak is meant to
+// prove: the in-flight sum never passes the budget.
+func TestAdmitBudgetNeverExceeded(t *testing.T) {
+	const budget = 1 << 20
+	reg := stats.NewRegistry()
+	a := newAdmitter(budget, 2*time.Second, 256, reg)
+	var wg sync.WaitGroup
+	var maxSeen atomic.Int64
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cost := int64(1+i%7) * (budget / 16)
+			for k := 0; k < 50; k++ {
+				rel, err := a.Admit(cost)
+				if err != nil {
+					continue
+				}
+				if cur := a.InFlight(); cur > budget {
+					maxSeen.Store(cur)
+				}
+				rel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if over := maxSeen.Load(); over != 0 {
+		t.Fatalf("in-flight reached %d, budget %d", over, budget)
+	}
+	if peak := reg.Level("server_inflight_bytes").Peak(); peak > budget {
+		t.Fatalf("level peak %d exceeds budget %d", peak, budget)
+	}
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", got)
+	}
+}
+
+// TestAdmitGrantBeatsTimer pins the deadline/grant race: a release
+// racing the timer must yield exactly one outcome, and a granted
+// waiter must not also shed.
+func TestAdmitGrantBeatsTimer(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		a := newAdmitter(100, time.Millisecond, 8, stats.NewRegistry())
+		rel, err := a.Admit(100)
+		if err != nil {
+			t.Fatalf("Admit: %v", err)
+		}
+		got := make(chan error, 1)
+		go func() {
+			r, err := a.Admit(100)
+			if err == nil {
+				r()
+			}
+			got <- err
+		}()
+		time.Sleep(time.Millisecond) // land release near the deadline
+		rel()
+		err = <-got
+		if err != nil {
+			var shed *ShedError
+			if !errors.As(err, &shed) {
+				t.Fatalf("round %d: err = %v, want nil or *ShedError", round, err)
+			}
+		}
+		// Either way the ledger must drain to zero.
+		deadline := time.Now().Add(time.Second)
+		for a.InFlight() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: ledger did not drain: %d", round, a.InFlight())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

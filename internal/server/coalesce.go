@@ -1,0 +1,99 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// The coalescer batches small same-shape jobs into single
+// TransposeBatch calls: the paper's §6.2.4 amortization (static
+// dimensions ⇒ index computation paid once) applied across requests.
+// The first job of a shape opens a group and arms a short window timer;
+// companions arriving inside the window join the group. When the window
+// closes (or the group fills), the whole group executes as one batch on
+// the shared planner, so N small jobs cost one plan lookup and one
+// worker-pool dispatch instead of N.
+
+// coalesceKey groups jobs that can share one batch call.
+type coalesceKey struct {
+	rows, cols, elem int
+}
+
+// coMember is one job waiting inside a group. data is the job's payload
+// (transposed in place); err receives the batch outcome exactly once.
+type coMember struct {
+	data []byte
+	err  chan error
+}
+
+// coGroup is one open batch window.
+type coGroup struct {
+	members []*coMember
+	timer   *time.Timer
+	fired   bool
+}
+
+// coalescer collects same-shape jobs into groups and hands full or
+// expired groups to exec.
+type coalescer struct {
+	window  time.Duration
+	maxJobs int
+	exec    func(key coalesceKey, members []*coMember)
+
+	mu     sync.Mutex
+	groups map[coalesceKey]*coGroup
+}
+
+func newCoalescer(window time.Duration, maxJobs int, exec func(coalesceKey, []*coMember)) *coalescer {
+	return &coalescer{
+		window:  window,
+		maxJobs: maxJobs,
+		exec:    exec,
+		groups:  make(map[coalesceKey]*coGroup),
+	}
+}
+
+// submit enrolls a payload in its shape's open group (opening one if
+// needed) and blocks until the group executes. The payload is
+// transposed in place on success.
+func (c *coalescer) submit(key coalesceKey, data []byte) error {
+	m := &coMember{data: data, err: make(chan error, 1)}
+	c.mu.Lock()
+	g := c.groups[key]
+	if g == nil {
+		g = &coGroup{}
+		c.groups[key] = g
+		// Rebind for the timer closure: the group, not the map slot,
+		// identifies the batch.
+		grp := g
+		g.timer = time.AfterFunc(c.window, func() { c.run(key, grp) })
+	}
+	g.members = append(g.members, m)
+	full := len(g.members) >= c.maxJobs
+	c.mu.Unlock()
+	if full {
+		c.run(key, g)
+	}
+	return <-m.err
+}
+
+// run detaches and executes a group. The timer path and the full-group
+// path can race here; the fired flag (under the lock) picks exactly one
+// winner.
+func (c *coalescer) run(key coalesceKey, g *coGroup) {
+	c.mu.Lock()
+	if g.fired {
+		c.mu.Unlock()
+		return
+	}
+	g.fired = true
+	if c.groups[key] == g {
+		delete(c.groups, key)
+	}
+	members := g.members
+	c.mu.Unlock()
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	c.exec(key, members)
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCoalescerBatchesSameShape(t *testing.T) {
+	var batches atomic.Int64
+	var jobs atomic.Int64
+	c := newCoalescer(20*time.Millisecond, 64, func(key coalesceKey, members []*coMember) {
+		batches.Add(1)
+		jobs.Add(int64(len(members)))
+		for _, m := range members {
+			m.err <- nil
+		}
+	})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.submit(coalesceKey{rows: 4, cols: 4, elem: 4}, make([]byte, 64)); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := jobs.Load(); got != n {
+		t.Fatalf("jobs executed = %d, want %d", got, n)
+	}
+	if got := batches.Load(); got >= n {
+		t.Fatalf("batches = %d, want coalescing below %d", got, n)
+	}
+}
+
+func TestCoalescerFullGroupFiresEarly(t *testing.T) {
+	fired := make(chan int, 4)
+	// A window long enough that only the full-group path can fire
+	// within the test.
+	c := newCoalescer(10*time.Second, 2, func(key coalesceKey, members []*coMember) {
+		fired <- len(members)
+		for _, m := range members {
+			m.err <- nil
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.submit(coalesceKey{rows: 2, cols: 2, elem: 1}, make([]byte, 4))
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("full group did not fire before the window")
+	}
+	if got := <-fired; got != 2 {
+		t.Fatalf("group size = %d, want 2", got)
+	}
+}
+
+func TestCoalescerSeparatesShapes(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[coalesceKey]int)
+	c := newCoalescer(10*time.Millisecond, 64, func(key coalesceKey, members []*coMember) {
+		mu.Lock()
+		seen[key] += len(members)
+		mu.Unlock()
+		for _, m := range members {
+			m.err <- nil
+		}
+	})
+	var wg sync.WaitGroup
+	shapes := []coalesceKey{{2, 3, 4}, {3, 2, 4}, {2, 3, 8}}
+	for _, k := range shapes {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(k coalesceKey) {
+				defer wg.Done()
+				c.submit(k, make([]byte, k.rows*k.cols*k.elem))
+			}(k)
+		}
+	}
+	wg.Wait()
+	for _, k := range shapes {
+		if seen[k] != 3 {
+			t.Fatalf("shape %+v executed %d jobs, want 3", k, seen[k])
+		}
+	}
+}
+
+// TestCoalescerTimerVsFullRace hammers the two trigger paths to prove
+// the fired flag picks exactly one executor per group: every member
+// gets exactly one error send, so submit never hangs or panics.
+func TestCoalescerTimerVsFullRace(t *testing.T) {
+	c := newCoalescer(time.Microsecond, 2, func(key coalesceKey, members []*coMember) {
+		for _, m := range members {
+			m.err <- nil
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.submit(coalesceKey{rows: 1, cols: 1, elem: 1}, make([]byte, 1)); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("a submit hung: a group fired twice or not at all")
+	}
+}

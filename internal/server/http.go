@@ -1,0 +1,44 @@
+package server
+
+import (
+	"net/http"
+
+	"inplace/internal/stats"
+)
+
+// The HTTP shim is the daemon's observability plane, deliberately
+// separate from the binary data port: /stats returns every counter in
+// the process as deterministic JSON (sorted keys, so equal states
+// produce byte-identical responses and consumers can diff them
+// textually), /healthz answers liveness probes.
+
+// StatsSnapshot merges the process-wide registry (planner cache
+// traffic, out-of-core volume) with this server's own metrics into one
+// frozen snapshot.
+func (s *Server) StatsSnapshot() stats.Snapshot {
+	return stats.Merge(stats.Default().Snapshot(), s.reg.Snapshot())
+}
+
+// Handler returns the HTTP shim: GET /stats and GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		b, err := s.StatsSnapshot().Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

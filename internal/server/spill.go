@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"inplace/internal/mathutil"
+)
+
+// Spilled jobs live in the spill directory as three files per token:
+// <token>.dat (the payload, transposed in place by the out-of-core
+// engine), <token>.jrn (the engine's crash-safe journal) and
+// <token>.meta (geometry and progress state as JSON, written
+// atomically). The registry mirrors the directory in memory; opening a
+// registry rescans it, which is what makes a spilled job survive a
+// daemon kill: a new server over the same directory readopts every
+// token, and a client's Resume picks up exactly where the upload or the
+// journaled transform stopped.
+
+// Spill progress states. Persisted in the meta file; the numeric values
+// are format, do not renumber.
+const (
+	spillUploading = 0 // payload partially received
+	spillReady     = 1 // payload complete, transform not started
+	spillRunning   = 2 // transform started; the journal governs resume
+	spillDone      = 3 // transform complete, result in the .dat file
+)
+
+// spillMeta is the persisted description of one spilled job.
+type spillMeta struct {
+	Token uint64 `json:"token"`
+	Rows  int    `json:"rows"`
+	Cols  int    `json:"cols"`
+	Elem  int    `json:"elem"`
+	State int    `json:"state"`
+}
+
+// spillJob is the in-memory handle of one spilled job. busy guards
+// single-connection ownership: a token can be driven by at most one
+// connection at a time.
+type spillJob struct {
+	mu       sync.Mutex
+	busy     bool
+	meta     spillMeta
+	received int64 // contiguous payload bytes durably in the .dat file
+	total    int64
+}
+
+// acquire claims connection ownership; false when another connection
+// holds the token.
+func (j *spillJob) acquire() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.busy {
+		return false
+	}
+	j.busy = true
+	return true
+}
+
+// releaseOwner returns connection ownership.
+func (j *spillJob) releaseOwner() {
+	j.mu.Lock()
+	j.busy = false
+	j.mu.Unlock()
+}
+
+// spillRegistry indexes the spill directory.
+type spillRegistry struct {
+	dir  string
+	mu   sync.Mutex
+	jobs map[uint64]*spillJob
+}
+
+// openSpillRegistry creates the directory if needed and adopts every
+// existing meta file in it.
+func openSpillRegistry(dir string) (*spillRegistry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &spillRegistry{dir: dir, jobs: make(map[uint64]*spillJob)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".meta") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var m spillMeta
+		if json.Unmarshal(raw, &m) != nil || m.Rows <= 0 || m.Cols <= 0 || m.Elem <= 0 {
+			continue
+		}
+		size, ok := mathutil.CheckedMul(m.Rows, m.Cols)
+		if !ok {
+			continue
+		}
+		total, ok := mathutil.CheckedMul(size, m.Elem)
+		if !ok {
+			continue
+		}
+		j := &spillJob{meta: m, total: int64(total)}
+		if fi, err := os.Stat(r.datPath(m.Token)); err == nil {
+			// Uploads append sequentially, so the file size is exactly
+			// the contiguous received prefix.
+			j.received = fi.Size()
+			if j.received > j.total {
+				j.received = j.total
+			}
+		}
+		r.jobs[m.Token] = j
+	}
+	return r, nil
+}
+
+func (r *spillRegistry) datPath(token uint64) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%016x.dat", token))
+}
+
+func (r *spillRegistry) jrnPath(token uint64) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%016x.jrn", token))
+}
+
+func (r *spillRegistry) metaPath(token uint64) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%016x.meta", token))
+}
+
+// create registers a fresh spilled job, already acquired by the caller.
+// ok is false when the token is already registered.
+func (r *spillRegistry) create(token uint64, rows, cols, elem int, total int64) (*spillJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.jobs[token]; exists {
+		return nil, false
+	}
+	j := &spillJob{
+		busy:  true,
+		meta:  spillMeta{Token: token, Rows: rows, Cols: cols, Elem: elem, State: spillUploading},
+		total: total,
+	}
+	r.jobs[token] = j
+	return j, true
+}
+
+// lookup returns the job registered under token, if any.
+func (r *spillRegistry) lookup(token uint64) *spillJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[token]
+}
+
+// count returns the number of registered spilled jobs (for /stats).
+func (r *spillRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// remove forgets a token and deletes its files; called after the result
+// has been streamed back successfully.
+func (r *spillRegistry) remove(token uint64) {
+	r.mu.Lock()
+	delete(r.jobs, token)
+	r.mu.Unlock()
+	os.Remove(r.datPath(token))
+	os.Remove(r.jrnPath(token))
+	os.Remove(r.metaPath(token))
+}
+
+// persistMeta writes the job's meta file atomically (tmp + rename), so
+// a kill mid-write leaves the previous state, never a torn file.
+func (r *spillRegistry) persistMeta(j *spillJob) error {
+	j.mu.Lock()
+	m := j.meta
+	j.mu.Unlock()
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := r.metaPath(m.Token)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// setState transitions the job's persisted state.
+func (r *spillRegistry) setState(j *spillJob, state int) error {
+	j.mu.Lock()
+	j.meta.State = state
+	j.mu.Unlock()
+	return r.persistMeta(j)
+}
+
+// state reads the job's current state.
+func (j *spillJob) state() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.meta.State
+}
+
+// addReceived advances the contiguous received prefix.
+func (j *spillJob) addReceived(n int64) int64 {
+	j.mu.Lock()
+	j.received += n
+	r := j.received
+	j.mu.Unlock()
+	return r
+}
+
+// receivedBytes reads the contiguous received prefix.
+func (j *spillJob) receivedBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.received
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"inplace"
+	"inplace/internal/mathutil"
+)
+
+// The data plane receives matrices as raw bytes but the in-memory
+// engine is typed. When the payload buffer is naturally aligned for the
+// element width — always true for buffers this package allocates — the
+// bytes are reinterpreted in place (zero copy, zero allocation); a
+// misaligned buffer falls back to a cold copy through a typed scratch
+// slice. Either way the result bytes are identical: the transpose
+// permutes opaque fixed-size records, so the load/store byte order
+// cancels out.
+
+// view reinterprets raw as a []T when the base pointer is aligned for T
+// and the length divides evenly.
+func view[T any](raw []byte) ([]T, bool) {
+	var t T
+	sz := int(unsafe.Sizeof(t))
+	if len(raw) == 0 || len(raw)%sz != 0 {
+		return nil, false
+	}
+	if uintptr(unsafe.Pointer(&raw[0]))%uintptr(unsafe.Alignof(t)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&raw[0])), len(raw)/sz), true
+}
+
+// transposeMem transposes the row-major rows×cols matrix of elem-byte
+// elements held in raw, in place, through the process planner cache
+// (so concurrent requests for one shape share a plan).
+func transposeMem(raw []byte, rows, cols, elem int) error {
+	if err := checkGeom(raw, 1, rows, cols, elem); err != nil {
+		return err
+	}
+	switch elem {
+	case 1:
+		return inplace.Transpose(raw, rows, cols)
+	case 2:
+		if v, ok := view[uint16](raw); ok {
+			return inplace.Transpose(v, rows, cols)
+		}
+		return copyTranspose[uint16](raw, 1, rows, cols)
+	case 4:
+		if v, ok := view[uint32](raw); ok {
+			return inplace.Transpose(v, rows, cols)
+		}
+		return copyTranspose[uint32](raw, 1, rows, cols)
+	case 8:
+		if v, ok := view[uint64](raw); ok {
+			return inplace.Transpose(v, rows, cols)
+		}
+		return copyTranspose[uint64](raw, 1, rows, cols)
+	default:
+		return errBadElem
+	}
+}
+
+// transposeBatchMem transposes count back-to-back rows×cols matrices
+// held in raw through one TransposeBatch call: the coalescer's engine.
+func transposeBatchMem(raw []byte, count, rows, cols, elem int) error {
+	if err := checkGeom(raw, count, rows, cols, elem); err != nil {
+		return err
+	}
+	switch elem {
+	case 1:
+		return inplace.TransposeBatch(raw, count, rows, cols)
+	case 2:
+		if v, ok := view[uint16](raw); ok {
+			return inplace.TransposeBatch(v, count, rows, cols)
+		}
+		return copyTranspose[uint16](raw, count, rows, cols)
+	case 4:
+		if v, ok := view[uint32](raw); ok {
+			return inplace.TransposeBatch(v, count, rows, cols)
+		}
+		return copyTranspose[uint32](raw, count, rows, cols)
+	case 8:
+		if v, ok := view[uint64](raw); ok {
+			return inplace.TransposeBatch(v, count, rows, cols)
+		}
+		return copyTranspose[uint64](raw, count, rows, cols)
+	default:
+		return errBadElem
+	}
+}
+
+// checkGeom proves count*rows*cols*elem matches the payload without
+// overflow before any index arithmetic trusts the products.
+func checkGeom(raw []byte, count, rows, cols, elem int) error {
+	if count <= 0 || rows <= 0 || cols <= 0 {
+		return errBadElem
+	}
+	size, ok := mathutil.CheckedMul(rows, cols)
+	if !ok {
+		return errBadElem
+	}
+	bytes, ok := mathutil.CheckedMul(size, elem)
+	if !ok {
+		return errBadElem
+	}
+	total, ok := mathutil.CheckedMul(bytes, count)
+	if !ok || len(raw) != total {
+		return errBadElem
+	}
+	return nil
+}
+
+// copyTranspose is the cold misaligned-buffer fallback: decode into a
+// typed scratch slice, transpose (batched when count > 1), re-encode.
+func copyTranspose[T uint16 | uint32 | uint64](raw []byte, count, rows, cols int) error {
+	var t T
+	sz := int(unsafe.Sizeof(t))
+	// checkGeom has already proven len(raw) = count*rows*cols*sz.
+	n := len(raw) / sz
+	v := make([]T, n)
+	decodeElems(v, raw)
+	var err error
+	if count > 1 {
+		err = inplace.TransposeBatch(v, count, rows, cols)
+	} else {
+		err = inplace.Transpose(v, rows, cols)
+	}
+	if err != nil {
+		return err
+	}
+	encodeElems(raw, v)
+	return nil
+}
+
+// decodeElems loads raw into v, element by element. Cold: only the
+// misaligned-buffer fallback comes through here, so it is deliberately
+// not a //xpose:hotpath region.
+func decodeElems[T uint16 | uint32 | uint64](v []T, raw []byte) {
+	var t T
+	switch unsafe.Sizeof(t) {
+	case 2:
+		for i := range v {
+			v[i] = T(binary.LittleEndian.Uint16(raw[2*i:]))
+		}
+	case 4:
+		for i := range v {
+			v[i] = T(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+	default:
+		for i := range v {
+			v[i] = T(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+	}
+}
+
+// encodeElems stores v back into raw, element by element. Cold, like
+// decodeElems.
+func encodeElems[T uint16 | uint32 | uint64](raw []byte, v []T) {
+	var t T
+	switch unsafe.Sizeof(t) {
+	case 2:
+		for i := range v {
+			binary.LittleEndian.PutUint16(raw[2*i:], uint16(v[i]))
+		}
+	case 4:
+		for i := range v {
+			binary.LittleEndian.PutUint32(raw[4*i:], uint32(v[i]))
+		}
+	default:
+		for i := range v {
+			binary.LittleEndian.PutUint64(raw[8*i:], uint64(v[i]))
+		}
+	}
+}

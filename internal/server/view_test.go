@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"unsafe"
+)
+
+// refTranspose computes the expected byte image of transposing a
+// row-major rows×cols matrix of elem-byte records, element by element.
+func refTranspose(raw []byte, rows, cols, elem int) []byte {
+	out := make([]byte, len(raw))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			src := (r*cols + c) * elem
+			dst := (c*rows + r) * elem
+			copy(out[dst:dst+elem], raw[src:src+elem])
+		}
+	}
+	return out
+}
+
+func fillPattern(n int) []byte {
+	b := make([]byte, n)
+	x := uint32(0x9E3779B9)
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 24)
+	}
+	return b
+}
+
+func TestTransposeMemAllWidths(t *testing.T) {
+	for _, elem := range []int{1, 2, 4, 8} {
+		for _, shape := range [][2]int{{1, 1}, {3, 5}, {7, 7}, {16, 9}, {33, 41}} {
+			rows, cols := shape[0], shape[1]
+			raw := fillPattern(rows * cols * elem)
+			want := refTranspose(raw, rows, cols, elem)
+			if err := transposeMem(raw, rows, cols, elem); err != nil {
+				t.Fatalf("elem %d %dx%d: %v", elem, rows, cols, err)
+			}
+			if !bytes.Equal(raw, want) {
+				t.Fatalf("elem %d %dx%d: transpose mismatch", elem, rows, cols)
+			}
+		}
+	}
+}
+
+func TestTransposeBatchMemMatchesSingles(t *testing.T) {
+	const count, rows, cols, elem = 5, 6, 4, 4
+	per := rows * cols * elem
+	raw := fillPattern(count * per)
+	want := make([]byte, 0, len(raw))
+	for i := 0; i < count; i++ {
+		want = append(want, refTranspose(raw[i*per:(i+1)*per], rows, cols, elem)...)
+	}
+	if err := transposeBatchMem(raw, count, rows, cols, elem); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("batch transpose mismatch")
+	}
+}
+
+// TestCopyTransposeMatchesViewPath pins the misaligned-fallback
+// equivalence claim: the copy path and the view path produce identical
+// bytes for the same input.
+func TestCopyTransposeMatchesViewPath(t *testing.T) {
+	const rows, cols, elem = 9, 13, 4
+	raw := fillPattern(rows * cols * elem)
+	viaView := append([]byte(nil), raw...)
+	if err := transposeMem(viaView, rows, cols, elem); err != nil {
+		t.Fatalf("view path: %v", err)
+	}
+	viaCopy := append([]byte(nil), raw...)
+	if err := copyTranspose[uint32](viaCopy, 1, rows, cols); err != nil {
+		t.Fatalf("copy path: %v", err)
+	}
+	if !bytes.Equal(viaView, viaCopy) {
+		t.Fatal("copy fallback diverges from view path")
+	}
+}
+
+func TestViewAlignment(t *testing.T) {
+	// Build the byte buffer over a []uint64 backing so the base
+	// pointer is 8-aligned by construction (a bare make([]byte, n) can
+	// land anywhere, e.g. on the stack at odd offsets — which is
+	// exactly why view checks).
+	words := make([]uint64, 9)
+	backing := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), 72)
+	if _, ok := view[uint64](backing[:64]); !ok {
+		t.Fatal("aligned 64-byte buffer should view as []uint64")
+	}
+	if _, ok := view[uint64](backing[1 : 1+32]); ok {
+		t.Fatal("misaligned buffer must not view as []uint64")
+	}
+	if _, ok := view[uint32](backing[:3]); ok {
+		t.Fatal("length not divisible by element size must not view")
+	}
+}
+
+func TestCheckGeomRejects(t *testing.T) {
+	cases := []struct {
+		name                    string
+		raw                     int
+		count, rows, cols, elem int
+	}{
+		{"zero rows", 0, 1, 0, 4, 4},
+		{"zero cols", 0, 1, 4, 0, 4},
+		{"zero count", 16, 0, 2, 2, 4},
+		{"length mismatch", 15, 1, 2, 2, 4},
+		{"overflow", 8, 1, 1 << 31, 1 << 31, 8},
+	}
+	for _, c := range cases {
+		if err := checkGeom(make([]byte, c.raw), c.count, c.rows, c.cols, c.elem); !errors.Is(err, errBadElem) {
+			t.Fatalf("%s: err = %v, want errBadElem", c.name, err)
+		}
+	}
+}
+
+func TestTransposeMemRejectsBadElem(t *testing.T) {
+	if err := transposeMem(make([]byte, 12), 2, 2, 3); !errors.Is(err, errBadElem) {
+		t.Fatalf("elem 3: err = %v, want errBadElem", err)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	raw := fillPattern(24)
+	v := make([]uint32, 6)
+	decodeElems(v, raw)
+	for i := range v {
+		if v[i] != binary.LittleEndian.Uint32(raw[4*i:]) {
+			t.Fatalf("decode[%d] mismatch", i)
+		}
+	}
+	out := make([]byte, 24)
+	encodeElems(out, v)
+	if !bytes.Equal(out, raw) {
+		t.Fatal("encode(decode(x)) != x")
+	}
+}

@@ -38,3 +38,30 @@ func (g *Gauge) Observe(x uint64) {
 
 // Load returns the maximum observed value.
 func (g *Gauge) Load() uint64 { return g.v.Load() }
+
+// Level is a concurrency-safe up/down gauge with an attached high-water
+// mark: Add moves the current value and records the peak ever reached.
+// The admission controller meters in-flight bytes and queue depth with
+// it — the current value bounds admission decisions, the peak proves
+// after the fact that a configured budget was never exceeded. The zero
+// value is ready to use.
+type Level struct {
+	v    atomic.Int64
+	peak Gauge
+}
+
+// Add moves the level by delta (negative to release) and returns the
+// new value, recording positive values into the peak mark.
+func (l *Level) Add(delta int64) int64 {
+	n := l.v.Add(delta)
+	if n > 0 {
+		l.peak.Observe(uint64(n))
+	}
+	return n
+}
+
+// Load returns the current value.
+func (l *Level) Load() int64 { return l.v.Load() }
+
+// Peak returns the highest value the level ever reached.
+func (l *Level) Peak() uint64 { return l.peak.Load() }

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Registry is a named index of the package's metering primitives:
+// cumulative Counters, high-water Gauges and up/down Levels. Components
+// register (or lazily create) their metrics under stable snake_case
+// names, and Snapshot freezes the whole registry into a deterministic
+// JSON-encodable value — the backing of the xposed daemon's /stats
+// endpoint and of any other exporter that wants every counter in the
+// process without knowing who owns them.
+//
+// A Registry is safe for concurrent use. Metric handles returned by
+// Counter, Gauge and Level are stable: every call with the same name
+// returns the same underlying metric, so hot paths resolve their
+// handles once at construction and update them lock-free afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	levels   map[string]*Level
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// defaultRegistry carries the process-wide metrics: the planner cache
+// and the out-of-core engine register here.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Library-internal metrics
+// (planner cache traffic, cumulative out-of-core volume) live on it;
+// servers typically keep their own Registry for per-instance metrics
+// and Merge the two snapshots when exporting.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the high-water gauge registered under name, creating it
+// on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Level returns the up/down level registered under name, creating it on
+// first use.
+func (r *Registry) Level(name string) *Level {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.levels == nil {
+		r.levels = make(map[string]*Level)
+	}
+	l, ok := r.levels[name]
+	if !ok {
+		l = &Level{}
+		r.levels[name] = l
+	}
+	return l
+}
+
+// LevelSnapshot is the frozen state of one Level: its current value and
+// the peak it ever reached.
+type LevelSnapshot struct {
+	Value int64  `json:"value"`
+	Peak  uint64 `json:"peak"`
+}
+
+// Snapshot is a frozen, JSON-encodable view of a registry. Map-keyed
+// encoding through encoding/json sorts keys, so the same metric values
+// always produce byte-identical JSON — consumers can diff /stats
+// responses textually.
+type Snapshot struct {
+	Counters map[string]uint64        `json:"counters"`
+	Gauges   map[string]uint64        `json:"gauges"`
+	Levels   map[string]LevelSnapshot `json:"levels"`
+}
+
+// Snapshot freezes every registered metric. The maps are fresh copies;
+// mutating them does not touch the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]uint64, len(r.gauges)),
+		Levels:   make(map[string]LevelSnapshot, len(r.levels)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, l := range r.levels {
+		s.Levels[name] = LevelSnapshot{Value: l.Load(), Peak: l.Peak()}
+	}
+	return s
+}
+
+// Merge combines two snapshots into one. Names are expected to be
+// disjoint (registries namespace their metrics with prefixes); on a
+// clash the entry from b wins.
+func Merge(a, b Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]uint64, len(a.Counters)+len(b.Counters)),
+		Gauges:   make(map[string]uint64, len(a.Gauges)+len(b.Gauges)),
+		Levels:   make(map[string]LevelSnapshot, len(a.Levels)+len(b.Levels)),
+	}
+	for _, s := range []Snapshot{a, b} {
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range s.Levels {
+			out.Levels[k] = v
+		}
+	}
+	return out
+}
+
+// Encode renders the snapshot as indented JSON. The encoding is
+// deterministic: encoding/json writes map keys in sorted order, so
+// equal snapshots produce byte-identical output.
+func (s Snapshot) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

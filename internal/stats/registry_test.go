@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits")
+	c2 := r.Counter("hits")
+	if c1 != c2 {
+		t.Fatal("Counter returned distinct handles for one name")
+	}
+	if g1, g2 := r.Gauge("peak"), r.Gauge("peak"); g1 != g2 {
+		t.Fatal("Gauge returned distinct handles for one name")
+	}
+	if l1, l2 := r.Level("depth"), r.Level("depth"); l1 != l2 {
+		t.Fatal("Level returned distinct handles for one name")
+	}
+	// Distinct names are distinct metrics even across kinds.
+	if r.Counter("hits") == r.Counter("misses") {
+		t.Fatal("distinct counter names share a handle")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("b").Inc()
+	r.Gauge("g").Observe(7)
+	l := r.Level("l")
+	l.Add(5)
+	l.Add(-2)
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Counters["b"] != 1 {
+		t.Fatalf("counter snapshot = %v", s.Counters)
+	}
+	if s.Gauges["g"] != 7 {
+		t.Fatalf("gauge snapshot = %v", s.Gauges)
+	}
+	if s.Levels["l"] != (LevelSnapshot{Value: 3, Peak: 5}) {
+		t.Fatalf("level snapshot = %v", s.Levels)
+	}
+
+	// The snapshot is a copy: later updates do not leak in.
+	r.Counter("a").Inc()
+	if s.Counters["a"] != 3 {
+		t.Fatal("snapshot aliased the live registry")
+	}
+}
+
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Insertion order differs run to run via map iteration, but the
+		// encoding must not.
+		for _, n := range []string{"zeta", "alpha", "mid"} {
+			r.Counter(n).Add(uint64(len(n)))
+			r.Gauge(n + "_peak").Observe(uint64(len(n)))
+			r.Level(n + "_lvl").Add(int64(len(n)))
+		}
+		return r.Snapshot()
+	}
+	a, err := build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encodings differ:\n%s\n---\n%s", a, b)
+	}
+	// Sorted keys: alpha before mid before zeta.
+	if i, j := bytes.Index(a, []byte(`"alpha"`)), bytes.Index(a, []byte(`"zeta"`)); i < 0 || j < 0 || i > j {
+		t.Fatalf("keys not sorted in %s", a)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("lib_hits").Add(2)
+	rb.Counter("server_jobs").Add(9)
+	rb.Level("server_inflight").Add(4)
+	m := Merge(ra.Snapshot(), rb.Snapshot())
+	if m.Counters["lib_hits"] != 2 || m.Counters["server_jobs"] != 9 {
+		t.Fatalf("merged counters = %v", m.Counters)
+	}
+	if m.Levels["server_inflight"].Value != 4 {
+		t.Fatalf("merged levels = %v", m.Levels)
+	}
+}
+
+func TestLevelConcurrent(t *testing.T) {
+	var l Level
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Add(3)
+				l.Add(-3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Load(); got != 0 {
+		t.Fatalf("Level after balanced adds = %d, want 0", got)
+	}
+	if p := l.Peak(); p < 3 || p > 24 {
+		t.Fatalf("Level peak = %d, want within [3, 24]", p)
+	}
+}

@@ -110,11 +110,16 @@ var plannerCache struct {
 	order []plannerKey
 }
 
-// Cache counters, on the shared metering primitives of internal/stats
-// (the same surface the out-of-core engine meters with). Read-only
-// outside the package via PlannerCacheStats; atomic because hits are
-// recorded under the read lock.
-var cacheHits, cacheMisses, cacheEvictions stats.Counter
+// Cache counters, registered on the process-wide stats registry (the
+// same surface the out-of-core engine meters with) so exporters like
+// the xposed /stats endpoint enumerate them without knowing this
+// package. Read-only outside the package via PlannerCacheStats; atomic
+// because hits are recorded under the read lock.
+var (
+	cacheHits      = stats.Default().Counter("planner_cache_hits")
+	cacheMisses    = stats.Default().Counter("planner_cache_misses")
+	cacheEvictions = stats.Default().Counter("planner_cache_evictions")
+)
 
 // CacheStats is a snapshot of the planner cache counters.
 type CacheStats struct {
