@@ -1,22 +1,58 @@
 GO ?= go
 
-.PHONY: ci vet lint vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke clean
+.PHONY: ci vet lint lint-report lint-bench lint-race vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke clean
 
-# ci is the full gate: static checks (vet plus the xposelint suite),
-# build, tests, the race detector (short mode keeps the race shapes
-# small), a capped autotuner run, an out-of-core round trip on a real
-# temp file, the daemon selftest, the benchmark regression gate against
-# the committed baseline, and a best-effort vulnerability scan.
-ci: vet lint build test race tune-smoke ooc-smoke serve-smoke bench-gate vuln
+# ci is the full gate: static checks (vet plus the xposelint suite,
+# with its golden tests re-run under the race detector and a wall-clock
+# budget on the full-repo lint), build, tests, the race detector (short
+# mode keeps the race shapes small), a capped autotuner run, an
+# out-of-core round trip on a real temp file, the daemon selftest, the
+# benchmark regression gate against the committed baseline, and a
+# best-effort vulnerability scan.
+ci: vet lint lint-race lint-bench build test race tune-smoke ooc-smoke serve-smoke bench-gate vuln
 
 vet:
 	$(GO) vet ./...
 
 # lint runs the repository's own analyzers (internal/analyzers): hot
-# path allocation, index-overflow guards, strength-reduced division and
-# pool hygiene. Non-zero exit on any unsuppressed finding.
+# path allocation, index-overflow guards, strength-reduced division,
+# pool hygiene, lock discipline (locksafe), goroutine/timer leaks
+# (leakcheck), wire-length bounds (wiresafe) and error-sentinel wrapping
+# (errsentinel). Non-zero exit on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/xposelint ./...
+
+# lint-report writes the machine-readable findings (suppressed ones
+# included, with their reasons) to results/lint-report.json; the output
+# is sorted and root-relative, so two reports diff textually.
+lint-report:
+	mkdir -p results
+	$(GO) run ./cmd/xposelint -json ./... > results/lint-report.json || true
+	@echo "lint-report: results/lint-report.json"
+
+# lint-race re-runs the analyzer golden and metadata tests under the
+# race detector: the dataflow analyzers share fact maps across a
+# package's analyzer sequence, and the goldens drive every analyzer, so
+# this is the cheap way to prove the sharing is race-free. Patterns are
+# anchored so the target runs exactly the analyzer tests.
+lint-race:
+	$(GO) test -race -run '^(TestGolden|TestSuppressionMetadata|TestMultiAllowMetadata)$$' ./internal/analyzers
+	$(GO) test -race ./internal/analyzers/lintkit
+
+# lint-bench enforces a wall-clock budget on the full-repo lint: the
+# dataflow engine fixpoints must stay lint-fast, not compile-slow. The
+# binary is prebuilt so the budget measures analysis, not go build.
+LINT_BUDGET_SECS ?= 60
+lint-bench:
+	mkdir -p results
+	$(GO) build -o results/xposelint.bin ./cmd/xposelint
+	@start=$$(date +%s); \
+	./results/xposelint.bin ./... >/dev/null || exit 1; \
+	end=$$(date +%s); took=$$((end - start)); \
+	echo "lint-bench: full-repo lint took $${took}s (budget $(LINT_BUDGET_SECS)s)"; \
+	if [ $$took -gt $(LINT_BUDGET_SECS) ]; then \
+		echo "lint-bench: FAIL — lint exceeded the $(LINT_BUDGET_SECS)s budget"; exit 1; \
+	fi
 
 # vuln scans with govulncheck when it is installed and the vulndb is
 # reachable; otherwise it reports what it skipped and succeeds, so air-

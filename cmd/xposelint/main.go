@@ -12,9 +12,17 @@
 //	-list  print the analyzers and exit
 //	-why   also print every suppressed finding with its reason
 //	-c n   run only the named analyzer (repeatable, comma-separated)
+//	-json  emit the findings as a JSON array on stdout (machine-readable)
+//
+// With -json every finding — suppressed ones included — is emitted as
+// {file, line, col, analyzer, message, suppressed, reason}, sorted by
+// position with file paths relative to the module root, so CI can diff
+// two reports textually. Exit codes are unchanged: 1 when any
+// unsuppressed finding remains, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
 	why := flag.Bool("why", false, "print suppressed findings with their reasons")
 	only := flag.String("c", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +86,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, root, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "xposelint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			if !f.Suppressed {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	bad := 0
 	suppressed := 0
 	for _, f := range findings {
@@ -97,6 +119,43 @@ func main() {
 		fmt.Printf("xposelint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the stable machine-readable shape of one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// writeJSON emits every finding (suppressed included) as an indented
+// JSON array. lintkit.Run already sorts by position, and paths are
+// relativized against the module root, so the output is deterministic
+// for a given tree.
+func writeJSON(w *os.File, root string, findings []lintkit.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File:       file,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // moduleRoot walks up from the working directory to the first go.mod.

@@ -194,6 +194,17 @@ func checkShape(rows, cols int) (size int, err error) {
 // the process wisdom table has no entry for.
 var ErrNoWisdom = errors.New("inplace: no wisdom for shape")
 
+// ErrUnknownMethod reports a Method value outside the declared set.
+var ErrUnknownMethod = errors.New("inplace: unknown method")
+
+// ErrElemSize reports an element size the size-dispatched entry points
+// (TuneElem, NewPlanElem) cannot handle: only 1, 2, 4 and 8 are wired.
+var ErrElemSize = errors.New("inplace: unsupported element size")
+
+// ErrNoTuneResult reports a tuning run that measured no candidates at
+// all, typically an out-of-core budget below every schedule floor.
+var ErrNoTuneResult = errors.New("inplace: tuning measured no candidates")
+
 // NewPlan validates the shape and resolves the engine for transposing a
 // rows×cols array with the given options.
 //
@@ -273,7 +284,7 @@ func newPlanElem(rows, cols int, o Options, elemSize int) (*Plan, error) {
 	case SkinnyMethod:
 		p.variant = core.Skinny
 	default:
-		return nil, fmt.Errorf("inplace: unknown method %v", method)
+		return nil, fmt.Errorf("%w %v", ErrUnknownMethod, method)
 	}
 	p.method = method
 	p.opts = core.Opts{Workers: o.Workers, Variant: p.variant, BlockW: o.BlockWidth}

@@ -2,13 +2,20 @@ package analyzers
 
 import "inplace/internal/analyzers/lintkit"
 
-// All returns the xposelint suite in reporting order.
+// All returns the xposelint suite in reporting order: the original
+// hot-path checks first, then the dataflow-backed concurrency and
+// protocol-safety analyzers the daemon era added. IndexOverflow runs
+// before WireSafe so the shared guard-function fact is computed once.
 func All() []*lintkit.Analyzer {
 	return []*lintkit.Analyzer{
 		HotpathAlloc,
 		IndexOverflow,
 		ModReduce,
 		PoolHygiene,
+		LockSafe,
+		LeakCheck,
+		WireSafe,
+		ErrSentinel,
 	}
 }
 

@@ -1,6 +1,7 @@
 package analyzers_test
 
 import (
+	"strings"
 	"testing"
 
 	"inplace/internal/analyzers"
@@ -12,11 +13,16 @@ import (
 // the diagnostics against the // want comments, both directions.
 func TestGolden(t *testing.T) {
 	checktest.Run(t, "testdata", analyzers.All(),
+		"errsentinel",
 		"hotpathalloc",
 		"indexoverflow",
+		"leakcheck",
+		"locksafe",
 		"modreduce",
 		"poolhygiene",
 		"suppress",
+		"suppressmulti",
+		"wiresafe",
 	)
 }
 
@@ -39,6 +45,32 @@ func TestSuppressionMetadata(t *testing.T) {
 	}
 	if suppressed[0].Analyzer != "indexoverflow" {
 		t.Errorf("suppressed analyzer = %q, want indexoverflow", suppressed[0].Analyzer)
+	}
+}
+
+// TestMultiAllowMetadata asserts the comma-list form: one directive in
+// the suppressmulti golden suppresses a leakcheck and an errsentinel
+// finding on the same line under one reason, and the stale entries are
+// reported per analyzer.
+func TestMultiAllowMetadata(t *testing.T) {
+	findings := checktest.Findings(t, "testdata", analyzers.All(), "suppressmulti")
+	byAnalyzer := map[string]int{}
+	var reasons []string
+	for _, f := range findings {
+		if f.Suppressed {
+			byAnalyzer[f.Analyzer]++
+			reasons = append(reasons, f.Reason)
+		}
+	}
+	if byAnalyzer["leakcheck"] != 2 || byAnalyzer["errsentinel"] != 1 || len(reasons) != 3 {
+		t.Fatalf("suppressed findings by analyzer = %v, want leakcheck:2 errsentinel:1\n%s",
+			byAnalyzer, checktest.Describe(findings))
+	}
+	want := "demo: process-lifetime ticker formatted into a dynamic error"
+	for _, r := range reasons {
+		if r != want && !strings.HasPrefix(r, "the ticker is intentionally immortal") {
+			t.Errorf("suppression reason = %q", r)
+		}
 	}
 }
 

@@ -1,23 +1,48 @@
 // Package analyzers implements xposelint, the static-analysis suite
-// that enforces this repository's hot-path invariants at build time.
-// The transpose kernels make three promises the compiler cannot check:
-// a warmed plan executes without heap allocation, every dimension
-// product in index algebra is proven to fit in int before it addresses
-// memory, and no hot loop pays for hardware division by a plan-constant
-// divisor. Each promise has an analyzer:
+// that enforces this repository's hot-path and daemon invariants at
+// build time. The transpose kernels and the xposed daemon make
+// promises the compiler cannot check: a warmed plan executes without
+// heap allocation, every dimension product is proven to fit in int
+// before it addresses memory, no hot loop pays for hardware division,
+// no critical section blocks, every goroutine can exit, no decoded
+// wire length sizes an allocation unchecked, and every public error
+// wraps a matchable sentinel. Each promise has an analyzer:
 //
 //	hotpathalloc   no allocating constructs in //xpose:hotpath regions
 //	indexoverflow  overflow guards dominate r*cols+c index products
 //	modreduce      hot-loop % and / by plan constants use mathutil.Divider
 //	poolhygiene    sync.Pool resets, no lock copies, no loop-var capture
 //	               in work submitted to internal/parallel
+//	locksafe       no blocking calls, self-deadlocks, order inversions
+//	               or leaked critical sections under a sync.Mutex/RWMutex
+//	leakcheck      every goroutine has a provable exit path; WaitGroup
+//	               Add/Done balance; timers and tickers are stoppable
+//	wiresafe       lengths decoded in wire/client packages are bounds-
+//	               checked before make, unsafe.Slice or indexing
+//	errsentinel    exported-reachable paths wrap package sentinels with
+//	               %w; no error construction in hot regions
+//
+// The first four are per-function syntax walkers; the last four run on
+// the lintkit dataflow layer — a per-function CFG, a reaching-facts
+// worklist solver and a same-package call graph (see
+// internal/analyzers/lintkit) — so "the lock is held here" and "this
+// length was never checked on this path" are path-sensitive facts, not
+// grep hits. Example diagnostics:
+//
+//	channel send while s.mu is held in (*Server).notify; release the lock first
+//	goroutine started in serve loops forever: the for loop at line 80 has no return, break or done-channel exit
+//	decoded length n reaches a make size in readFrame without a bounds check; compare it against an announced limit first
+//	fmt.Errorf without %w on the exported-reachable path TuneFor; wrap a package sentinel so callers can errors.Is
 //
 // Run the suite with
 //
 //	go run ./cmd/xposelint ./...
 //
-// or `make lint`, which the ci target includes. The process exits
-// non-zero if any unsuppressed finding remains.
+// or `make lint`, which the ci target includes; `-json` emits the
+// findings machine-readably (see `make lint-report`), and the ci gate
+// also re-runs the golden tests under the race detector (`lint-race`)
+// and holds the full-repo lint to a wall-clock budget (`lint-bench`).
+// The process exits non-zero if any unsuppressed finding remains.
 //
 // # The //xpose:hotpath contract
 //
@@ -27,11 +52,12 @@
 //
 // declares itself part of the per-execution hot path: it may run once
 // per element, per pass, or per Execute, and therefore submits to the
-// strict checks (hotpathalloc, modreduce). A directive comment placed
-// on the line directly above a statement marks just that statement's
-// subtree, for cold functions with one hot loop. Everything the
-// directive does not cover is cold code, where clarity beats cycles and
-// fmt.Errorf is welcome.
+// strict checks (hotpathalloc, modreduce, and errsentinel's rule that
+// hot regions construct no errors). A directive comment placed on the
+// line directly above a statement marks just that statement's subtree,
+// for cold functions with one hot loop. Everything the directive does
+// not cover is cold code, where clarity beats cycles and fmt.Errorf is
+// welcome.
 //
 // Annotating a function is a statement about its call frequency, not
 // its correctness: annotate kernels, per-pass drivers and validation
@@ -41,13 +67,16 @@
 // # Suppressions
 //
 // A finding that is intentional — a cold path the analyzer cannot prove
-// cold, a product bounded by construction — is suppressed in place:
+// cold, a product bounded by construction, a write that must stay under
+// its lock for atomicity — is suppressed in place:
 //
 //	//xpose:allow indexoverflow -- dims are compile-time constants
+//	//xpose:allow leakcheck,errsentinel -- one line, two analyzers, one reason
 //
 // on the flagged line or the line above it. The reason after the double
-// dash is mandatory; a directive without one, and a directive that
-// suppresses nothing, are themselves reported. `xposelint -why` lists
-// every suppression with its reason, so the full exception budget of
-// the tree is reviewable in one place.
+// dash is mandatory; a directive without one is reported, and a listed
+// analyzer that suppresses nothing is reported together with the
+// directive's own reason, so stale exceptions are cleaned up informed.
+// `xposelint -why` lists every suppression with its reason, so the full
+// exception budget of the tree is reviewable in one place.
 package analyzers

@@ -1,0 +1,114 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// ErrSentinel reports error construction that callers cannot match.
+// The public surfaces (root package, client, tune, server) promise
+// typed sentinels — errors.Is(err, inplace.ErrOverflow) and friends —
+// so a fmt.Errorf without %w on an exported-reachable path silently
+// breaks that contract: the text survives but the identity is gone.
+// Per package the analyzer computes the functions reachable from any
+// exported function or method through the same-package call graph and
+// flags, on those paths,
+//
+//   - fmt.Errorf calls whose format string has no %w verb (the error
+//     created is unmatchable; wrap a package sentinel),
+//   - errors.New calls inside function bodies (a fresh dynamic
+//     sentinel per call; declare it at package level instead).
+//
+// Independently, any error construction inside an //xpose:hotpath
+// region is flagged — error formatting allocates, and the hot-path
+// contract keeps construction in cold helpers. Package main is exempt
+// (binaries print errors, they do not return them to callers).
+var ErrSentinel = &lintkit.Analyzer{
+	Name: "errsentinel",
+	Doc:  "exported-reachable paths must wrap package sentinels; no error construction in hot regions",
+	Run:  runErrSentinel,
+}
+
+func runErrSentinel(pass *lintkit.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	info := pass.TypesInfo
+	cg := pass.CallGraph()
+
+	var roots []types.Object
+	for obj, fn := range cg.Decls {
+		if fn.Name.IsExported() {
+			roots = append(roots, obj)
+		}
+	}
+	reachable := cg.Reachable(roots)
+
+	for _, fn := range sortedDecls(cg) {
+		obj := info.Defs[fn.Name]
+		if obj == nil || !reachable[obj] {
+			continue
+		}
+		name := funcName(fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(info, call, "fmt", "Errorf") && len(call.Args) > 0 {
+				if format, ok := stringLit(call.Args[0]); ok && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w on the exported-reachable path %s; wrap a package sentinel so callers can errors.Is", name)
+				}
+			}
+			if isPkgFunc(info, call, "errors", "New") {
+				pass.Reportf(call.Pos(), "errors.New inside %s creates an unmatchable error per call; declare a package-level sentinel and wrap it with %%w", name)
+			}
+			return true
+		})
+	}
+
+	// Hot regions must not construct errors at all, reachable or not.
+	for _, r := range hotRegions(pass) {
+		ast.Inspect(r.node, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(info, call, "errors", "New") || isPkgFunc(info, call, "fmt", "Errorf") {
+				pass.Reportf(call.Pos(), "error constructed inside //xpose:hotpath region of %s; build errors in a cold helper", funcName(r.fn))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stringLit unquotes a string literal expression, following a single
+// level of concatenation.
+func stringLit(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(x.Value)
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	case *ast.BinaryExpr:
+		l, ok1 := stringLit(x.X)
+		r, ok2 := stringLit(x.Y)
+		if ok1 && ok2 {
+			return l + r, true
+		}
+	case *ast.ParenExpr:
+		return stringLit(x.X)
+	}
+	return "", false
+}

@@ -37,7 +37,7 @@ var IndexOverflow = &lintkit.Analyzer{
 }
 
 func runIndexOverflow(pass *lintkit.Pass) error {
-	guards := guardFuncs(pass)
+	guards := sharedGuardFuncs(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -48,6 +48,24 @@ func runIndexOverflow(pass *lintkit.Pass) error {
 		}
 	}
 	return nil
+}
+
+// guardFuncsFactKey is the shared-fact key under which the guard
+// classification is published, so wiresafe recognizes the same helper
+// functions without recomputing (or diverging from) the set.
+const guardFuncsFactKey = "analyzers.indexoverflow.guards"
+
+// sharedGuardFuncs returns the package's guard functions from the
+// shared fact store, computing and exporting them on first use —
+// whichever of indexoverflow and wiresafe runs first pays, the other
+// reuses.
+func sharedGuardFuncs(pass *lintkit.Pass) map[types.Object]bool {
+	if v, ok := pass.ImportFact(guardFuncsFactKey); ok {
+		return v.(map[types.Object]bool)
+	}
+	guards := guardFuncs(pass)
+	pass.ExportFact(guardFuncsFactKey, guards)
+	return guards
 }
 
 // guardFuncs returns the package-level functions whose bodies establish

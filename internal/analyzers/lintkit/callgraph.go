@@ -1,0 +1,124 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A CallGraph is the lightweight same-package call graph: which
+// declared function or method each declared function calls directly.
+// It lets analyzers recognize helper functions across call boundaries
+// (a guard check factored into a validator, a blocking call buried two
+// helpers deep) without whole-program analysis. Cross-package calls
+// are not edges — the kit analyzes one package at a time.
+type CallGraph struct {
+	// Decls maps every declared function or method object with a body
+	// to its declaration.
+	Decls map[types.Object]*ast.FuncDecl
+	// Callees lists the same-package functions each declared function
+	// calls directly (including calls inside its function literals).
+	Callees map[types.Object][]types.Object
+}
+
+// callGraphFactKey is the shared-fact key under which the graph is
+// cached, so every analyzer in a run reuses one construction.
+const callGraphFactKey = "lintkit.callgraph"
+
+// CallGraph returns the package's call graph, building it on first use
+// and sharing it between analyzers through the pass's fact store.
+func (p *Pass) CallGraph() *CallGraph {
+	if v, ok := p.ImportFact(callGraphFactKey); ok {
+		return v.(*CallGraph)
+	}
+	g := buildCallGraph(p.Files, p.TypesInfo)
+	p.ExportFact(callGraphFactKey, g)
+	return g
+}
+
+func buildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		Decls:   map[types.Object]*ast.FuncDecl{},
+		Callees: map[types.Object][]types.Object{},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := info.Defs[fn.Name]; obj != nil {
+				g.Decls[obj] = fn
+			}
+		}
+	}
+	for obj, fn := range g.Decls {
+		seen := map[types.Object]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObject(info, call)
+			if callee != nil && g.Decls[callee] != nil && !seen[callee] {
+				seen[callee] = true
+				g.Callees[obj] = append(g.Callees[obj], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// calleeObject resolves the object a call expression invokes, seeing
+// through selectors and generic instantiations. Nil for builtins,
+// conversions, and computed function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.Ident:
+			return info.Uses[f]
+		case *ast.SelectorExpr:
+			return info.Uses[f.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclOf returns the same-package declaration a call invokes, or nil.
+func (g *CallGraph) DeclOf(info *types.Info, call *ast.CallExpr) (types.Object, *ast.FuncDecl) {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return nil, nil
+	}
+	return obj, g.Decls[obj]
+}
+
+// Reachable returns the declared functions reachable from the roots
+// through same-package calls, roots included.
+func (g *CallGraph) Reachable(roots []types.Object) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var walk func(types.Object)
+	walk = func(o types.Object) {
+		if out[o] {
+			return
+		}
+		out[o] = true
+		for _, c := range g.Callees[o] {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		if g.Decls[r] != nil {
+			walk(r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds a per-function control-flow graph over go/ast, the
+// foundation of the kit's intraprocedural dataflow analyses. The graph
+// is deliberately coarse: a Block holds the "simple" statements and
+// control expressions that execute on one straight-line path, in
+// order, and Succs are the possible continuations. Composite
+// statements (if/for/range/switch/select) never appear as block nodes
+// themselves; only their condition/tag/operand expressions do, so a
+// transfer function that walks each node's subtree visits every
+// executed expression exactly once. Function literals are NOT split
+// out — they appear inside whatever node contains them, and analyses
+// that care must skip them (their bodies execute at call time, not
+// here) and build a separate CFG per literal.
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block, Entry first and Exit last. Blocks that
+	// lost all predecessors (code after return/break) remain in the
+	// slice but are never reached by Forward.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single virtual exit block: every return and the fall
+	// off the end of the body flow here. It holds no nodes.
+	Exit *Block
+	// Defers collects the defer statements of the body in source
+	// order; deferred calls run on the Exit edge.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is one straight-line run of nodes.
+type Block struct {
+	Index int
+	// Nodes are simple statements and control expressions in
+	// execution order: assignments, expression statements, send/go/
+	// defer/return statements, if/for conditions, switch tags, range
+	// operands and select statements (the select itself marks the
+	// blocking choice point; each comm clause starts its own block
+	// with the clause's comm statement as its first node).
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// ctrlFrame is one enclosing breakable/continuable construct during
+// construction.
+type ctrlFrame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	frames       []ctrlFrame
+	labels       map[string]*Block
+	pendingGotos []struct {
+		from *Block
+		name string
+	}
+	pendingLabel string
+}
+
+// NewCFG builds the control-flow graph of a function body. The body
+// may be any block statement (FuncDecl.Body or FuncLit.Body).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Exit: &Block{}},
+		labels: map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.pendingGotos {
+		if target, ok := b.labels[g.name]; ok {
+			b.edge(g.from, target)
+		} else {
+			b.edge(g.from, b.cfg.Exit)
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the label of an enclosing labeled statement, so
+// the loop or switch it annotates registers break/continue targets
+// under that name.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// frameFor finds the break (and for loops, continue) target: the
+// innermost frame when the branch is unlabeled, the matching frame
+// otherwise. needCont restricts the search to loop frames.
+func (b *cfgBuilder) frameFor(label string, needCont bool) *ctrlFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		then, after := b.newBlock(), b.newBlock()
+		b.edge(b.cur, then)
+		cond := b.cur
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body, after := b.newBlock(), b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.frames = append(b.frames, ctrlFrame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, cont)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body, after := b.newBlock(), b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, ctrlFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s)
+		after := b.newBlock()
+		from := b.cur
+		b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(from, blk)
+			b.cur = blk
+			if clause.Comm != nil {
+				b.add(clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.frameFor(label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.frameFor(label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			if target, ok := b.labels[s.Label.Name]; ok {
+				b.edge(b.cur, target)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, struct {
+					from *Block
+					name string
+				}{b.cur, s.Label.Name})
+			}
+			b.cur = b.newBlock()
+		}
+		// FALLTHROUGH is handled inside switchStmt.
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case nil:
+		// e.g. an absent else branch routed through stmt.
+
+	default:
+		// Assign, Decl, Expr, IncDec, Send, Go, Empty: one node.
+		b.add(s)
+	}
+}
+
+// switchStmt lowers expression and type switches: every case clause is
+// a successor of the head; a missing default adds a direct head→after
+// edge; fallthrough chains a clause to the next clause's block.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cc := range body.List {
+		clauses = append(clauses, cc.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		for _, e := range c.List {
+			b.add(e)
+		}
+		for _, st := range c.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(blocks) {
+					b.edge(b.cur, blocks[i+1])
+				}
+				b.cur = b.newBlock()
+				continue
+			}
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}

@@ -1,0 +1,305 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+	"time"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return fn.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `func f() { a(); b() }`))
+	if got := len(cfg.Entry.Nodes); got != 2 {
+		t.Fatalf("entry nodes = %d, want 2", got)
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Fatalf("entry should flow straight to exit, succs = %v", cfg.Entry.Succs)
+	}
+	if len(cfg.Exit.Nodes) != 0 {
+		t.Fatalf("exit block must hold no nodes")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `func f(c bool) { if c { a() } else { b() }; d() }`))
+	// Entry holds the condition and branches to then and else; both
+	// rejoin in the after block that holds d().
+	if got := len(cfg.Entry.Succs); got != 2 {
+		t.Fatalf("condition block successors = %d, want 2", got)
+	}
+	var after *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "d" {
+						after = b
+					}
+				}
+			}
+		}
+	}
+	if after == nil {
+		t.Fatal("no block holds d()")
+	}
+	preds := 0
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s == after {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("join block predecessors = %d, want 2 (then and else)", preds)
+	}
+}
+
+func TestCFGReturnSkipsTail(t *testing.T) {
+	// Code after an unconditional return stays in the graph but is
+	// unreachable: Forward never hands it facts, EachNode skips it.
+	cfg := NewCFG(parseBody(t, `func f() { a(); return; b() }`))
+	visited := map[string]bool{}
+	record := func(n ast.Node, _ FactMap) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					visited[id.Name] = true
+				}
+			}
+		}
+	}
+	noop := func(ast.Node, FactMap) {}
+	in := cfg.Forward(FactMap{}, noop, nil)
+	cfg.EachNode(in, noop, record)
+	if !visited["a"] {
+		t.Errorf("a() before the return must be visited")
+	}
+	if visited["b"] {
+		t.Errorf("b() after the return is unreachable and must be skipped")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `func f() { defer a(); defer b(); c() }`))
+	if got := len(cfg.Defers); got != 2 {
+		t.Fatalf("defers = %d, want 2", got)
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `func f(ch chan int, done chan bool) {
+		select {
+		case v := <-ch:
+			use(v)
+		case <-done:
+		}
+	}`))
+	// The select itself is one node; each comm statement starts its own
+	// block, so subtree walks never see a clause twice.
+	var sel *Block
+	clauseHeads := 0
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.SelectStmt:
+				sel = b
+			case *ast.AssignStmt, *ast.ExprStmt:
+				if i == 0 && b != cfg.Entry {
+					clauseHeads++
+				}
+			}
+		}
+	}
+	if sel == nil {
+		t.Fatal("select statement is not a CFG node")
+	}
+	if len(sel.Succs) != 2 {
+		t.Fatalf("select successors = %d, want one per clause", len(sel.Succs))
+	}
+	if clauseHeads < 2 {
+		t.Fatalf("clause head blocks = %d, want 2", clauseHeads)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// The labeled break must leave the outer loop: f() after the loops
+	// is reachable, g() after the break inside the inner loop is not.
+	cfg := NewCFG(parseBody(t, `func f() {
+outer:
+	for {
+		for {
+			break outer
+			g()
+		}
+	}
+	f()
+}`))
+	visited := map[string]bool{}
+	record := func(n ast.Node, _ FactMap) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					visited[id.Name] = true
+				}
+			}
+		}
+	}
+	noop := func(ast.Node, FactMap) {}
+	in := cfg.Forward(FactMap{}, noop, nil)
+	cfg.EachNode(in, noop, record)
+	if !visited["f"] {
+		t.Errorf("f() after the labeled break target must be reachable")
+	}
+	if visited["g"] {
+		t.Errorf("g() after the break is unreachable")
+	}
+}
+
+func TestForwardJoinsAtMerge(t *testing.T) {
+	// x is assigned 1 on entry and 2 in one branch; at the use after
+	// the merge, JoinMin keeps the smaller fact.
+	body := parseBody(t, `func f(c bool) { x := 1; if c { x = 2 }; use(x) }`)
+	cfg := NewCFG(body)
+	transfer := func(n ast.Node, f FactMap) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+			if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+				f["x"] = int(lit.Value[0] - '0')
+			}
+		}
+	}
+	var atUse FactMap
+	visit := func(n ast.Node, f FactMap) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+					atUse = f.Clone()
+				}
+			}
+		}
+	}
+	in := cfg.Forward(FactMap{}, transfer, nil)
+	cfg.EachNode(in, transfer, visit)
+	if atUse == nil {
+		t.Fatal("use(x) never visited")
+	}
+	if got := atUse["x"]; got != 1 {
+		t.Errorf("fact at use(x) = %d, want 1 (JoinMin of 1 and 2)", got)
+	}
+	if got := cfg.ExitFacts(in)["x"]; got != 1 {
+		t.Errorf("exit fact = %d, want 1", got)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	// A fact introduced inside a loop body must flow back through the
+	// head and be visible on the loop's own next iteration and after it.
+	body := parseBody(t, `func f(n int) { for i := 0; i < n; i++ { taint() }; use() }`)
+	cfg := NewCFG(body)
+	transfer := func(n ast.Node, f FactMap) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "taint" {
+					f["t"] = 1
+				}
+			}
+		}
+	}
+	in := cfg.Forward(FactMap{}, transfer, nil)
+	if got := cfg.ExitFacts(in)["t"]; got != 1 {
+		t.Errorf("loop-born fact missing at exit: got %d, want 1", got)
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	// A forward goto targets a label declared later; the pending edge
+	// is resolved at the end of construction.
+	cfg := NewCFG(parseBody(t, `func f(c bool) {
+	if c {
+		goto done
+	}
+	work()
+done:
+	use()
+}`))
+	visited := map[string]bool{}
+	record := func(n ast.Node, _ FactMap) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					visited[id.Name] = true
+				}
+			}
+		}
+	}
+	noop := func(ast.Node, FactMap) {}
+	in := cfg.Forward(FactMap{}, noop, nil)
+	cfg.EachNode(in, noop, record)
+	if !visited["work"] || !visited["use"] {
+		t.Errorf("both work() and use() must be reachable, visited = %v", visited)
+	}
+}
+
+func TestCFGSwitchDefault(t *testing.T) {
+	// Without a default clause the switch head flows directly to the
+	// after block; with one it does not.
+	countHeadToAfter := func(src string) (headSuccs int) {
+		cfg := NewCFG(parseBody(t, src))
+		return len(cfg.Entry.Succs)
+	}
+	noDefault := countHeadToAfter(`func f(x int) { switch x { case 1: a() } }`)
+	withDefault := countHeadToAfter(`func f(x int) { switch x { case 1: a(); default: b() } }`)
+	if noDefault != 2 {
+		t.Errorf("switch without default: head successors = %d, want 2 (case + after)", noDefault)
+	}
+	if withDefault != 2 {
+		t.Errorf("switch with default: head successors = %d, want 2 (case + default)", withDefault)
+	}
+}
+
+func TestForwardBudgetTerminates(t *testing.T) {
+	// A non-monotone transfer (flips a fact every visit) must not hang:
+	// the iteration budget cuts the solve off.
+	body := parseBody(t, `func f(n int) { for i := 0; i < n; i++ { flip() } }`)
+	cfg := NewCFG(body)
+	v := 0
+	transfer := func(n ast.Node, f FactMap) {
+		if _, ok := n.(*ast.ExprStmt); ok {
+			v = 1 - v
+			f["flip"] = v
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		cfg.Forward(FactMap{}, transfer, func(a, b int) int { return a + b })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Forward did not terminate under a non-monotone transfer")
+	}
+}

@@ -1,0 +1,122 @@
+package lintkit
+
+import "go/ast"
+
+// This file is the reaching-facts engine on top of the CFG: a forward
+// iterative worklist solver over small per-variable fact lattices. An
+// analysis chooses its own fact keys (typically types.Object or a
+// canonical expression string) and integer fact values, supplies a
+// transfer function that applies one CFG node to a fact map in place,
+// and a value join for facts that disagree at a merge point. The
+// driver computes the fact map entering every reachable block; EachNode
+// then replays the transfer inside each block to hand the analysis the
+// exact facts in force before every node.
+
+// A FactMap carries the dataflow facts live at one program point:
+// analysis-chosen keys to small integer lattice values. Absence of a
+// key means "no fact".
+type FactMap map[any]int
+
+// Clone copies the map.
+func (m FactMap) Clone() FactMap {
+	out := make(FactMap, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// JoinMin is the join for lattices where the smaller value is the
+// weaker (more dangerous) fact — e.g. tainted=1 beats checked=2 when
+// only one path checked.
+func JoinMin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeInto folds src into dst key-union-wise, joining values that
+// disagree, and reports whether dst changed. Keys present in only one
+// side survive: the solver is a may-analysis over key presence.
+func mergeInto(dst, src FactMap, join func(a, b int) int) bool {
+	changed := false
+	for k, v := range src {
+		old, ok := dst[k]
+		if !ok {
+			dst[k] = v
+			changed = true
+			continue
+		}
+		if nv := join(old, v); nv != old {
+			dst[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Forward runs the transfer function over the graph to a fixpoint and
+// returns the facts entering every reachable block. entry seeds the
+// Entry block; join resolves conflicting values at merges (nil means
+// JoinMin). The solver is capped at a generous iteration budget so a
+// non-monotone transfer function degrades to partial facts instead of
+// hanging the lint run.
+func (c *CFG) Forward(entry FactMap, transfer func(ast.Node, FactMap), join func(a, b int) int) map[*Block]FactMap {
+	if join == nil {
+		join = JoinMin
+	}
+	in := map[*Block]FactMap{c.Entry: entry.Clone()}
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	budget := 64 * (len(c.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := in[b].Clone()
+		for _, n := range b.Nodes {
+			transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			si, ok := in[s]
+			if !ok {
+				in[s] = out.Clone()
+			} else if !mergeInto(si, out, join) {
+				continue
+			}
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// EachNode replays the transfer function through every reachable block
+// and calls visit with the facts in force immediately before each
+// node. Unreachable blocks (no entry facts) are skipped.
+func (c *CFG) EachNode(in map[*Block]FactMap, transfer func(ast.Node, FactMap), visit func(ast.Node, FactMap)) {
+	for _, b := range c.Blocks {
+		facts, ok := in[b]
+		if !ok {
+			continue
+		}
+		cur := facts.Clone()
+		for _, n := range b.Nodes {
+			visit(n, cur)
+			transfer(n, cur)
+		}
+	}
+}
+
+// ExitFacts returns the facts entering the exit block — the may-union
+// over every return path — or an empty map when no path reaches it.
+func (c *CFG) ExitFacts(in map[*Block]FactMap) FactMap {
+	if f, ok := in[c.Exit]; ok {
+		return f
+	}
+	return FactMap{}
+}

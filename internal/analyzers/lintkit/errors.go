@@ -1,0 +1,24 @@
+package lintkit
+
+import "errors"
+
+// Sentinel errors for the loader. Every load failure wraps one of
+// these, so callers (and the loader's own tests) can distinguish "this
+// directory is not a package" from "this package does not type-check"
+// with errors.Is instead of string matching.
+var (
+	// ErrNoModule reports a go.mod without a module directive.
+	ErrNoModule = errors.New("lintkit: missing module directive")
+	// ErrNoGoFiles reports a directory with no buildable non-test Go
+	// files (a test-only or empty package).
+	ErrNoGoFiles = errors.New("lintkit: no buildable Go files")
+	// ErrImportCycle reports a module-local import cycle.
+	ErrImportCycle = errors.New("lintkit: import cycle")
+	// ErrTypeCheck reports a package that parsed but failed
+	// type-checking; the first underlying type error is included in the
+	// message.
+	ErrTypeCheck = errors.New("lintkit: type-check failure")
+	// ErrOutsideRoots reports a directory that no configured root
+	// prefix maps to an import path.
+	ErrOutsideRoots = errors.New("lintkit: directory outside every configured root")
+)

@@ -5,9 +5,14 @@
 // and reports Diagnostics; the driver resolves //xpose:allow
 // suppressions and aggregates Findings.
 //
-// The subset is deliberate — no facts, no modular result sharing, no
-// SSA — because the xposelint checks are all single-package syntactic
-// and type-based inspections.
+// Beyond the per-function AST walk, the kit carries a small
+// intraprocedural dataflow layer: a per-function control-flow graph
+// (cfg.go), a reaching-facts worklist solver (dataflow.go), a
+// same-package call graph (callgraph.go), and a per-package fact store
+// shared between analyzers (Pass.ExportFact/ImportFact) so one
+// analyzer's classification — e.g. which helpers are overflow guards —
+// is visible to the others. There is still no SSA and no cross-package
+// fact propagation: every check is local to one package.
 package lintkit
 
 import (
@@ -43,6 +48,25 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report records a diagnostic against the package.
 	Report func(Diagnostic)
+
+	// facts is the per-package store shared by every analyzer in one
+	// run, in analyzer order.
+	facts map[string]any
+}
+
+// ExportFact publishes a value under key for later analyzers running
+// on the same package (and for this analyzer's own memoization).
+func (p *Pass) ExportFact(key string, v any) {
+	if p.facts == nil {
+		p.facts = map[string]any{}
+	}
+	p.facts[key] = v
+}
+
+// ImportFact returns the value a prior analyzer exported under key.
+func (p *Pass) ImportFact(key string) (any, bool) {
+	v, ok := p.facts[key]
+	return v, ok
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -76,19 +100,21 @@ func (f Finding) String() string {
 
 // allowRE matches the suppression directive:
 //
-//	//xpose:allow <analyzer> -- <reason>
+//	//xpose:allow <analyzer>[,<analyzer>...] -- <reason>
 //
 // The reason is mandatory; a directive without one is itself reported
-// as a violation, so every suppression in the tree is explained.
-var allowRE = regexp.MustCompile(`^//xpose:allow\s+([a-z0-9]+)\s*(?:--\s*(.*))?$`)
+// as a violation, so every suppression in the tree is explained. One
+// directive may name several analyzers, comma-separated, when a single
+// line intentionally trips more than one check.
+var allowRE = regexp.MustCompile(`^//xpose:allow\s+([a-z0-9]+(?:\s*,\s*[a-z0-9]+)*)\s*(?:--\s*(.*))?$`)
 
 // allowDirective is one parsed //xpose:allow comment.
 type allowDirective struct {
-	analyzer string
-	reason   string
-	line     int    // line the directive is written on
-	file     string // filename
-	used     bool
+	analyzers []string
+	reason    string
+	line      int    // line the directive is written on
+	file      string // filename
+	used      map[string]bool
 }
 
 // collectAllows parses every //xpose:allow directive in the files.
@@ -109,15 +135,20 @@ func collectAllows(fset *token.FileSet, files []*ast.File, report func(Finding))
 					report(Finding{
 						Analyzer: "xposelint",
 						Pos:      pos,
-						Message:  `malformed //xpose:allow: want "//xpose:allow <analyzer> -- <reason>" with a non-empty reason`,
+						Message:  `malformed //xpose:allow: want "//xpose:allow <analyzer>[,<analyzer>] -- <reason>" with a non-empty reason`,
 					})
 					continue
 				}
+				var names []string
+				for _, name := range strings.Split(m[1], ",") {
+					names = append(names, strings.TrimSpace(name))
+				}
 				out = append(out, &allowDirective{
-					analyzer: m[1],
-					reason:   strings.TrimSpace(m[2]),
-					line:     pos.Line,
-					file:     pos.Filename,
+					analyzers: names,
+					reason:    strings.TrimSpace(m[2]),
+					line:      pos.Line,
+					file:      pos.Filename,
+					used:      map[string]bool{},
 				})
 			}
 		}
@@ -126,12 +157,19 @@ func collectAllows(fset *token.FileSet, files []*ast.File, report func(Finding))
 }
 
 // covers reports whether the directive suppresses a diagnostic from the
-// named analyzer at the given position: same file, same line as the
-// directive or the line directly below it (directive-on-its-own-line).
+// named analyzer at the given position: the directive lists the
+// analyzer, same file, same line as the directive or the line directly
+// below it (directive-on-its-own-line).
 func (d *allowDirective) covers(analyzer string, pos token.Position) bool {
-	return d.analyzer == analyzer &&
-		d.file == pos.Filename &&
-		(d.line == pos.Line || d.line+1 == pos.Line)
+	if d.file != pos.Filename || (d.line != pos.Line && d.line+1 != pos.Line) {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
 }
 
 // Run applies every analyzer to every package and returns the findings
@@ -144,6 +182,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	for _, pkg := range pkgs {
 		report := func(f Finding) { findings = append(findings, f) }
 		allows := collectAllows(pkg.Fset, pkg.Files, report)
+		facts := map[string]any{}
 		for _, a := range analyzers {
 			var diags []Diagnostic
 			pass := &Pass{
@@ -153,6 +192,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				Report:    func(d Diagnostic) { diags = append(diags, d) },
+				facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -164,7 +204,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 					if al.covers(a.Name, pos) {
 						f.Suppressed = true
 						f.Reason = al.reason
-						al.used = true
+						al.used[a.Name] = true
 						break
 					}
 				}
@@ -172,12 +212,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 		for _, al := range allows {
-			if !al.used {
-				findings = append(findings, Finding{
-					Analyzer: "xposelint",
-					Pos:      token.Position{Filename: al.file, Line: al.line, Column: 1},
-					Message:  fmt.Sprintf("unused //xpose:allow %s directive (nothing to suppress here)", al.analyzer),
-				})
+			for _, name := range al.analyzers {
+				if !al.used[name] {
+					findings = append(findings, Finding{
+						Analyzer: "xposelint",
+						Pos:      token.Position{Filename: al.file, Line: al.line, Column: 1},
+						Message:  fmt.Sprintf("unused //xpose:allow %s directive (reason %q suppresses nothing here)", name, al.reason),
+					})
+				}
 			}
 		}
 	}

@@ -68,7 +68,7 @@ func NewModuleLoader(dir string) (*Loader, error) {
 		}
 	}
 	if mod == "" {
-		return nil, fmt.Errorf("lintkit: no module directive in %s/go.mod", dir)
+		return nil, fmt.Errorf("%w in %s/go.mod", ErrNoModule, dir)
 	}
 	return newLoader(map[string]string{mod: dir}), nil
 }
@@ -142,7 +142,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return pkg, nil
 	}
 	if l.active[path] {
-		return nil, fmt.Errorf("lintkit: import cycle through %q", path)
+		return nil, fmt.Errorf("%w through %q", ErrImportCycle, path)
 	}
 	l.active[path] = true
 	defer delete(l.active, path)
@@ -160,7 +160,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lintkit: %s: no buildable Go files", dir)
+		return nil, fmt.Errorf("%w in %s", ErrNoGoFiles, dir)
 	}
 
 	info := &types.Info{
@@ -179,7 +179,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	tpkg, _ := conf.Check(path, l.Fset, files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("lintkit: type-checking %s: %v", path, typeErrs[0])
+		return nil, fmt.Errorf("%w in %s: %v", ErrTypeCheck, path, typeErrs[0])
 	}
 
 	pkg := &Package{
@@ -274,7 +274,7 @@ func (l *Loader) pathFor(dir string) (string, error) {
 		}
 		if abs == rootAbs {
 			if prefix == "" {
-				return "", fmt.Errorf("lintkit: %s is the src root, not a package", dir)
+				return "", fmt.Errorf("%w: %s is the src root, not a package", ErrOutsideRoots, dir)
 			}
 			return prefix, nil
 		}
@@ -286,7 +286,7 @@ func (l *Loader) pathFor(dir string) (string, error) {
 			return p, nil
 		}
 	}
-	return "", fmt.Errorf("lintkit: %s is outside every configured root", dir)
+	return "", fmt.Errorf("%w: %s", ErrOutsideRoots, dir)
 }
 
 // hasGoFiles reports whether dir contains at least one buildable

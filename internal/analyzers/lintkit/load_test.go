@@ -1,0 +1,134 @@
+package lintkit
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a file map under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadHonoursBuildTags(t *testing.T) {
+	// b.go is excluded by its build constraint; it would not even
+	// type-check, so loading proves go/build filtered it out.
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"p/a.go": "package p\n\nfunc A() int { return 1 }\n",
+		"p/b.go": "//go:build never\n\npackage p\n\nfunc B() { undefinedSymbol() }\n",
+	})
+	loader, err := NewModuleLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, "./p")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d packages, files = %d; want 1 package with 1 file", len(pkgs), len(pkgs[0].Files))
+	}
+}
+
+func TestLoadTestOnlyPackage(t *testing.T) {
+	// A directory holding only _test.go files has no lintable compile
+	// unit: the loader reports a typed error, not a panic or a silent
+	// empty package.
+	dir := writeTree(t, map[string]string{
+		"go.mod":      "module m\n\ngo 1.22\n",
+		"t/x_test.go": "package t\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	loader, err := NewModuleLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(dir, "./t")
+	if !errors.Is(err, ErrNoGoFiles) {
+		t.Fatalf("Load(test-only dir) = %v, want errors.Is ErrNoGoFiles", err)
+	}
+}
+
+func TestLoadTypeCheckFailure(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"p/a.go": "package p\n\nfunc A() int { return undefinedSymbol }\n",
+	})
+	loader, err := NewModuleLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(dir, "./p")
+	if !errors.Is(err, ErrTypeCheck) {
+		t.Fatalf("Load(broken package) = %v, want errors.Is ErrTypeCheck", err)
+	}
+}
+
+func TestLoadNoModuleLine(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "// a go.mod with no module directive\n",
+	})
+	_, err := NewModuleLoader(dir)
+	if !errors.Is(err, ErrNoModule) {
+		t.Fatalf("NewModuleLoader = %v, want errors.Is ErrNoModule", err)
+	}
+}
+
+func TestLoadOutsideRoots(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"p/a.go": "package p\n",
+	})
+	elsewhere := writeTree(t, map[string]string{
+		"q/a.go": "package q\n",
+	})
+	loader, err := NewModuleLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(dir, filepath.Join(elsewhere, "q"))
+	if !errors.Is(err, ErrOutsideRoots) {
+		t.Fatalf("Load(dir outside module) = %v, want errors.Is ErrOutsideRoots", err)
+	}
+}
+
+func TestLoadRecursiveSkipsTestdata(t *testing.T) {
+	// ./... expansion must skip testdata and hidden directories, and a
+	// test-only directory is simply not listed (hasGoFiles gates it).
+	dir := writeTree(t, map[string]string{
+		"go.mod":            "module m\n\ngo 1.22\n",
+		"p/a.go":            "package p\n",
+		"p/testdata/bad.go": "package this is not Go\n",
+		"p/.hidden/x.go":    "package x\n\nfunc F() { undefined() }\n",
+		"q/only_test.go":    "package q\n",
+		"r/sub/b.go":        "package sub\n",
+	})
+	loader, err := NewModuleLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(./...): %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %v, want exactly m/p and m/r/sub", paths)
+	}
+}

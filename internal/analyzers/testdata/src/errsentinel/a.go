@@ -1,0 +1,59 @@
+// Package errsentinel is the golden input for the errsentinel
+// analyzer: exported-reachable paths must wrap package sentinels, and
+// hot regions must not construct errors at all.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmpty is the package sentinel the clean paths wrap.
+var ErrEmpty = errors.New("errsentinel: empty input")
+
+// Parse returns an error no caller can match with errors.Is.
+func Parse(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("errsentinel: empty input %q", s) // want `fmt.Errorf without %w on the exported-reachable path Parse; wrap a package sentinel so callers can errors.Is`
+	}
+	return len(s), nil
+}
+
+// Load reaches open through the call graph, so open's dynamic error
+// is on an exported path even though open itself is unexported.
+func Load(p string) error {
+	return open(p)
+}
+
+func open(p string) error {
+	return errors.New("errsentinel: cannot open " + p) // want `errors.New inside open creates an unmatchable error per call; declare a package-level sentinel and wrap it with %w`
+}
+
+// Check wraps the sentinel: clean.
+func Check(s string) error {
+	if s == "" {
+		return fmt.Errorf("%w (len 0)", ErrEmpty)
+	}
+	return nil
+}
+
+// internalOnly is unreachable from any exported function, so its
+// dynamic error stays its own business.
+func internalOnly() error {
+	return errors.New("errsentinel: not reachable from exports")
+}
+
+// Hot wraps the sentinel correctly, but builds it inside the annotated
+// region: both the hotpathalloc and errsentinel contracts object.
+//
+//xpose:hotpath
+func Hot(xs []int) (int, error) {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	if s < 0 {
+		return 0, fmt.Errorf("%w: negative sum", ErrEmpty) // want `fmt.Errorf in hotpath function Hot; build errors in a cold helper` `error constructed inside //xpose:hotpath region of Hot; build errors in a cold helper`
+	}
+	return s, nil
+}

@@ -1,0 +1,106 @@
+// Package leakcheck is the golden input for the leakcheck analyzer:
+// goroutines without a provable exit path, WaitGroup misuse, and
+// timers that can never be collected.
+package leakcheck
+
+import (
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// spin starts a goroutine whose loop nothing can leave.
+func spin() {
+	go func() { // want `goroutine started in spin loops forever: the for loop at line \d+ has no return, break or done-channel exit`
+		for {
+			work()
+		}
+	}()
+}
+
+// drain ranges over a channel: closing the channel ends the loop.
+func drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// pump escapes its loop through the done channel.
+func pump(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// addInside increments the WaitGroup from the spawned goroutine,
+// racing the Wait below.
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `WaitGroup.Add inside the goroutine spawned by addInside races its Wait; Add before the go statement`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// imbalance Adds two but only one goroutine ever calls Done.
+func imbalance(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(2) // want `wg.Add\(2\) in imbalance but 1 goroutine\(s\) call wg.Done; the Wait can hang or fire early`
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+}
+
+// balanced is the clean counterpart: Add(1), one Done.
+func balanced(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+}
+
+// poll allocates a fresh timer every iteration.
+func poll(ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-time.After(time.Second): // want `time.After inside a loop in poll leaks a timer per iteration; hoist a time.NewTimer and Reset it`
+			return
+		}
+	}
+}
+
+// tick hands back a channel whose ticker nobody can stop.
+func tick() <-chan time.Time {
+	return time.Tick(time.Minute) // want `time.Tick in tick leaks its ticker; use time.NewTicker and Stop it`
+}
+
+// fire abandons the timer on the ch path.
+func fire(ch chan int) {
+	t := time.NewTimer(time.Second) // want `timer t in fire is never stopped; defer t.Stop\(\) or hand it to an owner that stops it`
+	select {
+	case <-t.C:
+	case <-ch:
+	}
+}
+
+// stopTimer is the clean counterpart: the deferred Stop releases it.
+func stopTimer() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	<-t.C
+}

@@ -1,0 +1,128 @@
+// Package locksafe is the golden input for the locksafe analyzer:
+// blocking operations under a held mutex, self-deadlocks, lock-order
+// inversions and critical sections leaked on a return path.
+package locksafe
+
+import (
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+var mu2 sync.Mutex
+var rw sync.RWMutex
+
+// sendLocked blocks on a channel send inside the critical section.
+func sendLocked(ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while mu is held in sendLocked; release the lock first`
+	mu.Unlock()
+}
+
+// recvLocked blocks on a receive inside the critical section.
+func recvLocked(ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch // want `channel receive while mu is held in recvLocked`
+}
+
+// writeLocked does file I/O under the lock.
+func writeLocked(f *os.File, b []byte) {
+	mu.Lock()
+	defer mu.Unlock()
+	f.Write(b) // want `I/O call f.Write while mu is held in writeLocked`
+}
+
+// readUnderRLock does I/O under a read lock; the key is rendered with
+// its mode.
+func readUnderRLock(f *os.File, b []byte) {
+	rw.RLock()
+	defer rw.RUnlock()
+	f.Read(b) // want `I/O call f.Read while rw \(read lock\) is held in readUnderRLock`
+}
+
+// sleeper parks the goroutine while holding the lock.
+func sleeper(d func()) {
+	mu.Lock()
+	waitBoth(d) // want `call to waitBoth \(sync.WaitGroup.Wait\) while mu is held in sleeper`
+	mu.Unlock()
+}
+
+// waitBoth may block; sleeper calling it under mu is flagged through
+// the call-graph summary, not here (no lock is held in this body).
+func waitBoth(d func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d()
+	}()
+	wg.Wait()
+}
+
+// double re-acquires the lock a path already holds.
+func double() {
+	mu.Lock()
+	mu.Lock() // want `mu acquired in double while a path already holds it \(self-deadlock\)`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// leaky forgets the unlock on the early return.
+func leaky(cond bool) {
+	mu.Lock() // want `mu may still be held on a return path of leaky; unlock on every path or defer the unlock`
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+// abOrder takes mu then mu2; baOrder takes them in the opposite order.
+// The inversion is reported once, on the lexically smaller pair.
+func abOrder() {
+	mu.Lock()
+	mu2.Lock() // want `inconsistent lock order: pkg:mu held while acquiring pkg:mu2 in abOrder, but baOrder acquires them in the opposite order`
+	mu2.Unlock()
+	mu.Unlock()
+}
+
+func baOrder() {
+	mu2.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu2.Unlock()
+}
+
+// clean releases before the send: no finding.
+func clean(ch chan int) {
+	mu.Lock()
+	n := 1
+	mu.Unlock()
+	ch <- n
+}
+
+// cleanDefer pairs the lock with a deferred unlock: no leak.
+func cleanDefer() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 2
+}
+
+// cleanClose closes a channel under the lock: close never blocks.
+func cleanClose(ch chan int) {
+	mu.Lock()
+	close(ch)
+	mu.Unlock()
+}
+
+// cleanSelect polls with a default clause: non-blocking, exempt.
+func cleanSelect(ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+// Package suppressmulti is the golden input for comma-separated
+// //xpose:allow lists and the stale-suppression diagnostics: one
+// directive may cover several analyzers on one line, and an entry that
+// suppresses nothing is reported together with its reason.
+package suppressmulti
+
+import (
+	"fmt"
+	"time"
+)
+
+// Both trips leakcheck and errsentinel on the same line; the comma
+// list suppresses both findings under one reason, so no want here.
+func Both() error {
+	//xpose:allow leakcheck,errsentinel -- demo: process-lifetime ticker formatted into a dynamic error
+	return fmt.Errorf("tick %v", <-time.Tick(time.Minute))
+}
+
+// stale carries a directive whose analyzer no longer fires; the
+// diagnostic names the reason so the cleanup is an informed one.
+func stale(x int) int {
+	//xpose:allow locksafe -- nothing blocks here anymore // want `unused //xpose:allow locksafe directive \(reason "nothing blocks here anymore`
+	return x
+}
+
+// halfUsed lists two analyzers but only leakcheck fires: the unused
+// half is reported per analyzer, reason included.
+func halfUsed() <-chan time.Time {
+	//xpose:allow leakcheck,wiresafe -- the ticker is intentionally immortal // want `unused //xpose:allow wiresafe directive \(reason "the ticker is intentionally immortal`
+	return time.Tick(time.Hour)
+}

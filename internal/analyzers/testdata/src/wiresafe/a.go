@@ -1,0 +1,81 @@
+// Package wiresafe is the golden input for the wiresafe analyzer:
+// lengths decoded from a peer must be bounds-checked before they size
+// an allocation or index memory. The package path contains "wire", so
+// the analyzer is in scope.
+package wiresafe
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+var errTooBig = errors.New("wiresafe: length exceeds limit")
+
+// decodeBody allocates straight from the peer's length word.
+func decodeBody(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	return make([]byte, n) // want `decoded length n reaches a make size in decodeBody without a bounds check; compare it against an announced limit first`
+}
+
+// decodeChecked compares the length against a limit first: clean.
+func decodeChecked(b []byte, max int) ([]byte, error) {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > max {
+		return nil, errTooBig
+	}
+	return make([]byte, n), nil
+}
+
+// field subscripts the buffer with a decoded offset.
+func field(b []byte) byte {
+	off := int(binary.LittleEndian.Uint16(b))
+	return b[off] // want `decoded length off reaches a subscript in field without a bounds check; compare it against an announced limit first`
+}
+
+// raw slices with an unsigned parameter that was never compared to
+// anything.
+func raw(n uint32, b []byte) []byte {
+	return b[:n] // want `unsigned value n used as a slice bound in raw without a bounds check against the announced limits`
+}
+
+// inline feeds the decode into make without ever naming it.
+func inline(b []byte) []byte {
+	return make([]byte, int(binary.LittleEndian.Uint32(b))) // want `unchecked decode int\(binary.LittleEndian.Uint32\(b\)\) feeds a make size in inline; bound the value before using it`
+}
+
+// fits is a guard function: its body mentions math.MaxInt, so calling
+// it clears the taint (the same recognition indexoverflow uses).
+func fits(n int) bool {
+	return n >= 0 && n < math.MaxInt/2
+}
+
+// decodeGuarded routes the length through the guard: clean.
+func decodeGuarded(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if !fits(n) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// header returns the raw decoded length; the taint follows the return
+// value into callers.
+func header(b []byte) int {
+	return int(binary.LittleEndian.Uint32(b))
+}
+
+// useHeader trusts header's result without a check.
+func useHeader(b []byte) []byte {
+	n := header(b)
+	return make([]byte, n) // want `decoded length n reaches a make size in useHeader without a bounds check; compare it against an announced limit first`
+}
+
+// useHeaderChecked bounds the helper's result first: clean.
+func useHeaderChecked(b []byte, max int) []byte {
+	n := header(b)
+	if n > max {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,393 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"inplace/internal/analyzers/lintkit"
+)
+
+// WireSafe reports decoded lengths that reach allocation or indexing
+// without a bounds check. The wire protocol and the client decode
+// u32/u16 counts from untrusted peers; an unchecked value flowing into
+// make, unsafe.Slice or a subscript is a remote allocation bomb or an
+// out-of-range panic. The analyzer runs only on wire/client packages
+// (import path containing "wire" or "client") and taints
+//
+//   - conversions from unsigned integers to int/int64 (the classic
+//     uint32→int decode),
+//   - results of binary.BigEndian/LittleEndian.UintNN reads,
+//   - results of same-package functions that return tainted values
+//     unchecked (propagated through the call graph, so ParseHeader's
+//     raw length taints its callers until they bound it).
+//
+// A taint is cleared by any comparison mentioning the value, a
+// mathutil.CheckedMul, or a call to a same-package guard function —
+// the same guard set the indexoverflow analyzer computes, imported
+// through the shared fact store. Tainted (or never-checked unsigned)
+// values reaching a make size, unsafe.Slice length, subscript or
+// slice bound are flagged with the path-sensitive dataflow engine, so
+// a check on one branch does not excuse the other.
+var WireSafe = &lintkit.Analyzer{
+	Name: "wiresafe",
+	Doc:  "decoded wire lengths must be bounds-checked before make/unsafe.Slice/indexing",
+	Run:  runWireSafe,
+}
+
+// Taint lattice values. Merge keeps the minimum, so a path that never
+// checked wins over one that did.
+const (
+	taintTainted = 1
+	taintChecked = 2
+)
+
+func runWireSafe(pass *lintkit.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "wire") && !strings.Contains(path, "client") {
+		return nil
+	}
+	cg := pass.CallGraph()
+	guards := sharedGuardFuncs(pass)
+
+	// Phase A: which same-package functions return a tainted value?
+	// Iterate to a fixpoint so taint flows through one helper into the
+	// next.
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range cg.Decls {
+			if tainted[obj] {
+				continue
+			}
+			if returnsTainted(pass, guards, tainted, fn.Body) {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+	}
+
+	// Phase B: flag tainted sinks in every function and literal.
+	for _, fn := range sortedDecls(cg) {
+		name := funcName(fn)
+		checkWireUnit(pass, guards, tainted, name, fn.Body)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkWireUnit(pass, guards, tainted, name+" (func literal)", lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// taintKey canonicalizes an expression that can carry a taint fact: an
+// identifier's object, or a field chain's printed form.
+func taintKey(info *types.Info, e ast.Expr) any {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		if obj := info.Defs[x]; obj != nil {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		return "sel:" + types.ExprString(x)
+	case *ast.ParenExpr:
+		return taintKey(info, x.X)
+	}
+	return nil
+}
+
+// wireTransfer applies one CFG node to the taint facts: comparisons
+// and guard calls check values, assignments propagate or clear taint.
+func wireTransfer(pass *lintkit.Pass, guards map[types.Object]bool, sums map[types.Object]bool) func(ast.Node, lintkit.FactMap) {
+	info := pass.TypesInfo
+	setChecked := func(e ast.Expr, f lintkit.FactMap) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if x, ok := n.(ast.Expr); ok {
+				if k := taintKey(info, x); k != nil {
+					f[k] = taintChecked
+				}
+			}
+			return true
+		})
+	}
+	return func(n ast.Node, f lintkit.FactMap) {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if _, ok := sub.(*ast.FuncLit); ok {
+				return false
+			}
+			if _, ok := sub.(*ast.SelectStmt); ok {
+				return false // clause statements are their own CFG nodes
+			}
+			switch e := sub.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+					setChecked(e.X, f)
+					setChecked(e.Y, f)
+				}
+			case *ast.CallExpr:
+				if isCheckedMul(info, e) || guards[calleeForGuard(info, e)] {
+					for _, arg := range e.Args {
+						setChecked(arg, f)
+					}
+				}
+			case *ast.AssignStmt:
+				applyAssign(info, guards, sums, e, f)
+			}
+			return true
+		})
+	}
+}
+
+// calleeForGuard resolves the callee object for the guard-function
+// lookup (plain and selector calls).
+func calleeForGuard(info *types.Info, call *ast.CallExpr) types.Object {
+	if id := calleeIdent(call); id != nil {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// applyAssign moves taint across an assignment: a tainted right-hand
+// side taints the left, a clean one clears it.
+func applyAssign(info *types.Info, guards map[types.Object]bool, sums map[types.Object]bool, a *ast.AssignStmt, f lintkit.FactMap) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			k := taintKey(info, lhs)
+			if k == nil {
+				continue
+			}
+			if exprTainted(info, sums, a.Rhs[i], f) {
+				f[k] = taintTainted
+			} else {
+				delete(f, k)
+			}
+		}
+		return
+	}
+	// Multi-assign from one call: a tainted-returning same-package
+	// function taints every result.
+	if len(a.Rhs) == 1 {
+		call, ok := a.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		taint := false
+		if obj := calleeForGuard(info, call); obj != nil && sums[obj] {
+			taint = true
+		}
+		for _, lhs := range a.Lhs {
+			k := taintKey(info, lhs)
+			if k == nil {
+				continue
+			}
+			if taint {
+				f[k] = taintTainted
+			} else {
+				delete(f, k)
+			}
+		}
+	}
+}
+
+// exprTainted reports whether evaluating e yields a decoded, unchecked
+// value under the current facts.
+func exprTainted(info *types.Info, sums map[types.Object]bool, e ast.Expr, f lintkit.FactMap) bool {
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if k := taintKey(info, x.(ast.Expr)); k != nil && f[k] == taintTainted {
+				tainted = true
+			}
+			if _, ok := n.(*ast.SelectorExpr); ok {
+				return false // do not descend into the chain's parts
+			}
+		case *ast.CallExpr:
+			if isTaintSource(info, sums, x, f) {
+				tainted = true
+				return false
+			}
+		}
+		return !tainted
+	})
+	return tainted
+}
+
+// isTaintSource classifies a call as producing a decoded value: an
+// unsigned→signed conversion of an unchecked operand, a binary.*Endian
+// integer read, or a same-package function with a tainted return.
+func isTaintSource(info *types.Info, sums map[types.Object]bool, call *ast.CallExpr, f lintkit.FactMap) bool {
+	// Conversion T(x) with T signed and x unsigned.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, dstOK := tv.Type.Underlying().(*types.Basic)
+		src := info.Types[call.Args[0]].Type
+		if dstOK && src != nil {
+			sb, srcOK := src.Underlying().(*types.Basic)
+			if srcOK &&
+				dst.Info()&types.IsInteger != 0 && dst.Info()&types.IsUnsigned == 0 &&
+				sb.Info()&types.IsUnsigned != 0 {
+				// Converting an already-checked value is fine.
+				if k := taintKey(info, call.Args[0]); k != nil && f[k] == taintChecked {
+					return false
+				}
+				if info.Types[call.Args[0]].Value != nil {
+					return false // constant
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if isEndianRead(info, call) {
+		return true
+	}
+	if obj := calleeForGuard(info, call); obj != nil && sums[obj] {
+		return true
+	}
+	return false
+}
+
+// isEndianRead matches binary.BigEndian.UintNN / LittleEndian.UintNN.
+func isEndianRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Uint") {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && pkgPathOf(obj) == "encoding/binary"
+}
+
+// returnsTainted runs the taint dataflow over one body and reports
+// whether any return statement carries a tainted expression.
+func returnsTainted(pass *lintkit.Pass, guards map[types.Object]bool, sums map[types.Object]bool, body *ast.BlockStmt) bool {
+	info := pass.TypesInfo
+	cfg := lintkit.NewCFG(body)
+	transfer := wireTransfer(pass, guards, sums)
+	in := cfg.Forward(lintkit.FactMap{}, transfer, nil)
+	found := false
+	cfg.EachNode(in, transfer, func(n ast.Node, f lintkit.FactMap) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return
+		}
+		for _, r := range ret.Results {
+			if exprTainted(info, sums, r, f) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// checkWireUnit flags tainted or never-checked unsigned values at the
+// memory sinks of one function body.
+func checkWireUnit(pass *lintkit.Pass, guards map[types.Object]bool, sums map[types.Object]bool, name string, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	cfg := lintkit.NewCFG(body)
+	transfer := wireTransfer(pass, guards, sums)
+	in := cfg.Forward(lintkit.FactMap{}, transfer, nil)
+
+	sink := func(e ast.Expr, ctx string, f lintkit.FactMap) {
+		flagged := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if flagged {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			x, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if tv, ok := info.Types[x]; ok && tv.Value != nil {
+				return false // constant subexpression
+			}
+			switch x.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				k := taintKey(info, x)
+				if k == nil {
+					return true
+				}
+				switch f[k] {
+				case taintChecked:
+				case taintTainted:
+					flagged = true
+					pass.Reportf(x.Pos(), "decoded length %s reaches %s in %s without a bounds check; compare it against an announced limit first", types.ExprString(x), ctx, name)
+				default:
+					if t, ok := info.Types[x].Type.Underlying().(*types.Basic); ok && t.Info()&types.IsUnsigned != 0 {
+						flagged = true
+						pass.Reportf(x.Pos(), "unsigned value %s used as %s in %s without a bounds check against the announced limits", types.ExprString(x), ctx, name)
+					}
+				}
+				if _, isSel := x.(*ast.SelectorExpr); isSel {
+					return false
+				}
+			case *ast.CallExpr:
+				call := x.(*ast.CallExpr)
+				if isTaintSource(info, sums, call, f) {
+					flagged = true
+					pass.Reportf(x.Pos(), "unchecked decode %s feeds %s in %s; bound the value before using it", types.ExprString(x), ctx, name)
+					return false
+				}
+			}
+			return !flagged
+		})
+	}
+
+	visit := func(n ast.Node, f lintkit.FactMap) {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if _, ok := sub.(*ast.FuncLit); ok {
+				return false
+			}
+			if _, ok := sub.(*ast.SelectStmt); ok {
+				return false // clause statements are their own CFG nodes
+			}
+			switch e := sub.(type) {
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+						for _, a := range e.Args[1:] {
+							sink(a, "a make size", f)
+						}
+					}
+				}
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Slice" {
+					if obj := info.Uses[sel.Sel]; obj != nil && pkgPathOf(obj) == "unsafe" && len(e.Args) == 2 {
+						sink(e.Args[1], "an unsafe.Slice length", f)
+					}
+				}
+			case *ast.IndexExpr:
+				if indexesMemory(info, e.X) {
+					sink(e.Index, "a subscript", f)
+				}
+			case *ast.SliceExpr:
+				if indexesMemory(info, e.X) {
+					for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+						if b != nil {
+							sink(b, "a slice bound", f)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	cfg.EachNode(in, transfer, visit)
+}

@@ -232,10 +232,12 @@ func (j *journal) append(kind byte, pass, unit int, payload []byte) error {
 	binary.LittleEndian.PutUint64(rh[24:32], crc64.Checksum(payload, crcTab))
 	binary.LittleEndian.PutUint64(rh[32:40], j.runID)
 	binary.LittleEndian.PutUint64(rh[40:48], crc64.Checksum(rh[0:40], crcTab))
+	//xpose:allow locksafe -- cursor reservation and record write are one atomic durability unit; concurrent appends must serialize through j.mu
 	if _, err := j.b.WriteAt(rh[:], j.end); err != nil {
 		return fmt.Errorf("ooc: journal append: %w", err)
 	}
 	if len(payload) > 0 {
+		//xpose:allow locksafe -- payload write belongs to the same reserved record; releasing j.mu here would interleave records
 		if _, err := j.b.WriteAt(payload, j.end+recHeaderSize); err != nil {
 			return fmt.Errorf("ooc: journal append: %w", err)
 		}

@@ -269,13 +269,24 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Snapshot under the lock, close outside it: Close on a TLS or
+	// otherwise buffered connection can block on the peer, and the
+	// handler cleanup paths need s.mu to deregister themselves.
+	lns := make([]net.Listener, 0, len(s.lns))
 	for ln := range s.lns {
-		ln.Close()
+		lns = append(lns, ln)
 	}
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return nil
 }

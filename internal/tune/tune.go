@@ -19,6 +19,7 @@
 package tune
 
 import (
+	"errors"
 	"fmt"
 	"time"
 	"unsafe"
@@ -116,16 +117,23 @@ func HeuristicCandidate(rows, cols, maxWorkers int) Candidate {
 	}
 }
 
+// ErrShape reports non-positive tuning dimensions.
+var ErrShape = errors.New("tune: rows and cols must be positive")
+
+// ErrOverflow reports tuning dimensions whose product rows*cols does
+// not fit in int.
+var ErrOverflow = errors.New("tune: rows*cols overflows int")
+
 // TuneFor measures the candidate space for transposing rows×cols
 // matrices of T and returns the winning decision. It allocates one
 // rows*cols buffer of T for the duration of the call.
 func TuneFor[T any](rows, cols int, cfg Config) (Decision, error) {
 	if rows <= 0 || cols <= 0 {
-		return Decision{}, fmt.Errorf("tune: rows and cols must be positive (got %dx%d)", rows, cols)
+		return Decision{}, fmt.Errorf("%w (got %dx%d)", ErrShape, rows, cols)
 	}
 	size, ok := mathutil.CheckedMul(rows, cols)
 	if !ok {
-		return Decision{}, fmt.Errorf("tune: rows*cols overflows int (got %dx%d)", rows, cols)
+		return Decision{}, fmt.Errorf("%w (got %dx%d)", ErrOverflow, rows, cols)
 	}
 	cfg = cfg.withDefaults()
 	budget := parallel.Workers(cfg.MaxWorkers)

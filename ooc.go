@@ -352,7 +352,7 @@ func TuneOOC(rows, cols, elemSize int, budget int64, cfgs ...TuneConfig) (OOCTun
 		}
 	}
 	if best.Depth == 0 {
-		return OOCTuneResult{}, fmt.Errorf("inplace: ooc tuning measured no candidates for %dx%d", rows, cols)
+		return OOCTuneResult{}, fmt.Errorf("%w for %dx%d (ooc)", ErrNoTuneResult, rows, cols)
 	}
 	if best.SegmentBytes <= 0 {
 		best.SegmentBytes = budget / int64(2*best.Depth)

@@ -172,7 +172,7 @@ func TuneElem(rows, cols, elemSize int, cfgs ...TuneConfig) (TuneResult, error) 
 	case 8:
 		return Tune[uint64](rows, cols, cfgs...)
 	default:
-		return TuneResult{}, fmt.Errorf("inplace: unsupported element size %d (want 1, 2, 4 or 8)", elemSize)
+		return TuneResult{}, fmt.Errorf("%w: %d (want 1, 2, 4 or 8)", ErrElemSize, elemSize)
 	}
 }
 
