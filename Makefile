@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-report lint-bench lint-race vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke clean
+.PHONY: ci vet lint lint-report lint-bench lint-race vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke perm-smoke clean
 
 # ci is the full gate: static checks (vet plus the xposelint suite,
 # with its golden tests re-run under the race detector and a wall-clock
@@ -9,7 +9,7 @@ GO ?= go
 # out-of-core round trip on a real temp file, the daemon selftest, the
 # benchmark regression gate against the committed baseline, and a
 # best-effort vulnerability scan.
-ci: vet lint lint-race lint-bench build test race tune-smoke ooc-smoke serve-smoke bench-gate vuln
+ci: vet lint lint-race lint-bench build test race tune-smoke ooc-smoke serve-smoke perm-smoke bench-gate vuln
 
 vet:
 	$(GO) vet ./...
@@ -81,6 +81,7 @@ race:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz '^FuzzTranspose$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz '^FuzzPermuteAxes$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzPlannerReuse$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzAOSRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzWisdomRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tune
@@ -95,7 +96,7 @@ bench:
 # committed baseline. Alloc-count regressions and missing series fail
 # hard; wall-clock deltas only warn, because the baseline may have been
 # measured on a different host where throughput does not transfer.
-BENCH_GATE_RUN = ^(transpose|planner|aos_to_soa|ooc)_
+BENCH_GATE_RUN = ^(transpose|planner|aos_to_soa|ooc|permute)_
 bench-gate:
 	mkdir -p results
 	$(GO) run ./cmd/benchorch run -preset quick -seed 2014 -run '$(BENCH_GATE_RUN)' -q -json results/bench-latest.json
@@ -122,6 +123,19 @@ tune-smoke:
 ooc-smoke:
 	$(GO) run ./cmd/xposeooc -selftest -budget 64k
 	$(GO) test -race -run 'TestTransposeFile|TestResumeAfterKill' . ./internal/ooc
+
+# perm-smoke round-trips a small NHWC tensor file through xpose
+# -dims/-perm: NHWC -> NCHW, then the inverse permutation, and the
+# result must be byte-identical to the original.
+perm-smoke:
+	mkdir -p results
+	$(GO) build -o results/xpose.bin ./cmd/xpose
+	head -c 4096 /dev/urandom > results/perm-smoke.bin
+	cp results/perm-smoke.bin results/perm-smoke.orig
+	./results/xpose.bin -dims 2x8x8x4 -perm 0,3,1,2 -elem 8 results/perm-smoke.bin
+	./results/xpose.bin -dims 2x4x8x8 -perm 0,2,3,1 -elem 8 results/perm-smoke.bin
+	cmp results/perm-smoke.bin results/perm-smoke.orig
+	@echo "perm-smoke: NHWC<->NCHW round trip byte-identical"
 
 # serve-smoke boots the xposed daemon in-process and runs its
 # acceptance demo: 64 concurrent clients over TCP with plan sharing and

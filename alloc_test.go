@@ -66,6 +66,28 @@ func TestExecuteZeroAllocGcdShapes(t *testing.T) {
 	requireZeroAllocs(t, 120, 96, inplace.Options{Workers: 1, Method: inplace.CacheAware})
 }
 
+func TestPermuteExecuteZeroAllocRank2(t *testing.T) {
+	// The rank-2 [1,0] permutation routes through the same planning path
+	// as Transpose: one single-slab pass on the warm 2D engine, so the
+	// warm Execute must not allocate either.
+	pl, err := inplace.NewPermutePlanner[int64]([]int{512, 384}, []int{1, 0}, inplace.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int64, 512*384)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := pl.Execute(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PermutePlanner.Execute(512x384, [1,0]) allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestExecuteZeroAllocTuned(t *testing.T) {
 	// A planner resolved through the wisdom table must keep the
 	// zero-alloc steady state: wisdom only changes which plan is built,

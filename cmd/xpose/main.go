@@ -1,14 +1,16 @@
-// Command xpose transposes a raw binary matrix file in place, and hosts
+// Command xpose transposes a raw binary matrix file in place — or, with
+// -dims/-perm, permutes the axes of a raw rank-k tensor file — and hosts
 // the walkthrough demos of the paper's Figures 1 and 2.
 //
 // Usage:
 //
 //	xpose -rows M -cols N [-elem 8] [-order row|col] [-method auto|...]
 //	      [-workers N] file
+//	xpose -dims NxHxWxC -perm 0,3,1,2 [-elem 8] [-workers N] file
 //	xpose -demo fig1|fig2
 //
-// The file must hold rows*cols elements of the given byte width in the
-// given order; it is rewritten in place with the transposed layout.
+// The file must hold the tensor's elements of the given byte width; it
+// is rewritten in place with the transposed (or axis-permuted) layout.
 package main
 
 import (
@@ -19,13 +21,17 @@ import (
 
 	"inplace"
 	"inplace/internal/bench"
+	"inplace/internal/mathutil"
+	"inplace/internal/tensor"
 )
 
 func main() {
 	rows := flag.Int("rows", 0, "matrix rows")
 	cols := flag.Int("cols", 0, "matrix columns")
+	dims := flag.String("dims", "", `tensor dimensions for -perm, outermost first (e.g. "2x8x8x4")`)
+	perm := flag.String("perm", "", `axis permutation over -dims, numpy convention (e.g. "0,3,1,2")`)
 	elem := flag.Int("elem", 8, "element size in bytes (1, 2, 4 or 8)")
-	order := flag.String("order", "row", "storage order: row or col")
+	order := flag.String("order", "row", "storage order: row or col (2D only)")
 	method := flag.String("method", "auto", "engine: auto, algorithm1, gather, cache-aware or skinny")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	demo := flag.String("demo", "", "print a figure walkthrough (fig1 or fig2) and exit")
@@ -37,9 +43,17 @@ func main() {
 		runDemo(*demo)
 		return
 	}
-	if flag.NArg() != 1 || *rows <= 0 || *cols <= 0 {
-		fmt.Fprintln(os.Stderr, "usage: xpose -rows M -cols N [-elem B] [-order row|col] file")
+	permMode := *dims != "" || *perm != ""
+	if permMode && (*dims == "" || *perm == "" || *rows != 0 || *cols != 0) {
+		fmt.Fprintln(os.Stderr, "usage: xpose -dims NxHxWxC -perm 0,3,1,2 [-elem B] file (-dims and -perm go together, without -rows/-cols)")
 		os.Exit(2)
+	}
+	if flag.NArg() != 1 || (!permMode && (*rows <= 0 || *cols <= 0)) {
+		fmt.Fprintln(os.Stderr, "usage: xpose -rows M -cols N [-elem B] [-order row|col] file\n       xpose -dims NxHxWxC -perm 0,3,1,2 [-elem B] file")
+		os.Exit(2)
+	}
+	if permMode && *order != "row" {
+		fatal(fmt.Errorf("-order %s does not apply to -perm (a column-major tensor is described by reversing dims and perm)", *order))
 	}
 
 	o := inplace.Options{Workers: *workers}
@@ -73,6 +87,10 @@ func main() {
 		if err := inplace.LoadWisdom(*wisdom); err != nil && !os.IsNotExist(err) {
 			fatal(err)
 		}
+	}
+	if permMode {
+		runPermute(*dims, *perm, *elem, o, *tuneFirst, *wisdom, flag.Arg(0))
+		return
 	}
 	if *tuneFirst {
 		// Order normalization happens inside the planner; tune the shape
@@ -110,6 +128,95 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("transposed %s: %dx%d -> %dx%d (%d-byte elements)\n", path, *rows, *cols, *cols, *rows, *elem)
+}
+
+// runPermute is the -dims/-perm mode: permute the axes of a raw rank-k
+// tensor file in place.
+func runPermute(dimsSpec, permSpec string, elem int, o inplace.Options, tuneFirst bool, wisdom, path string) {
+	s, err := tensor.ParseShape(dimsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := tensor.ParsePerm(permSpec, len(s))
+	if err != nil {
+		fatal(err)
+	}
+	if tuneFirst {
+		res, err := inplace.TunePermuteElem(s, p, elem, inplace.TuneConfig{Workers: o.Workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		if wisdom != "" {
+			if err := inplace.SaveWisdom(wisdom); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	want, ok := mathutil.CheckedMul(s.Size(), elem)
+	if !ok {
+		fatal(fmt.Errorf("tensor %s with %d-byte elements overflows int", s, elem))
+	}
+	if len(raw) != want {
+		fatal(fmt.Errorf("%s holds %d bytes, want %d (%sx%dB)", path, len(raw), want, s, elem))
+	}
+	if err := permuteBytes(raw, s, p, elem, o); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("permuted %s: %s perm %s -> %s (%d-byte elements)\n",
+		path, s, p, tensor.Permuted(s, p), elem)
+}
+
+// permuteBytes views the raw buffer as typed elements and permutes.
+func permuteBytes(raw []byte, s tensor.Shape, p tensor.Perm, elem int, o inplace.Options) error {
+	n := s.Size()
+	switch elem {
+	case 1:
+		return inplace.PermuteAxes(raw, s, p, o)
+	case 2:
+		v := make([]uint16, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint16(raw[2*i:])
+		}
+		if err := inplace.PermuteAxes(v, s, p, o); err != nil {
+			return err
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint16(raw[2*i:], x)
+		}
+	case 4:
+		v := make([]uint32, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		if err := inplace.PermuteAxes(v, s, p, o); err != nil {
+			return err
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(raw[4*i:], x)
+		}
+	case 8:
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		if err := inplace.PermuteAxes(v, s, p, o); err != nil {
+			return err
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(raw[8*i:], x)
+		}
+	default:
+		return fmt.Errorf("unsupported element size %d", elem)
+	}
+	return nil
 }
 
 // transposeBytes views the raw buffer as typed elements and transposes.

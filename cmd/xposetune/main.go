@@ -9,7 +9,13 @@
 //
 //	xposetune -shapes 1024x1024,100000x8 [-elem 8] [-workers 0]
 //	          [-o wisdom.json] [-merge] [-fast]
+//	xposetune -perms "2x8x8x4:0,3,1,2;2x4x8x8:0,2,3,1" [-elem 8] [-o wisdom.json]
 //	xposetune -list wisdom.json
+//
+// -perms tunes axis permutations for the PermuteAxes planner: each
+// semicolon-separated entry is dims:perm, and the decision is recorded
+// under the permutation's canonical form (see the perm section of the
+// wisdom file). -shapes and -perms may be combined in one run.
 //
 // -merge folds the new measurements over an existing wisdom file
 // instead of replacing it; unknown-version files merge as empty. -fast
@@ -24,11 +30,13 @@ import (
 	"strings"
 
 	"inplace"
+	"inplace/internal/tensor"
 	"inplace/internal/tune"
 )
 
 func main() {
 	shapes := flag.String("shapes", "", "comma-separated RxC shape list to tune (e.g. 1024x1024,100000x8)")
+	perms := flag.String("perms", "", `semicolon-separated dims:perm list to tune (e.g. "2x8x8x4:0,3,1,2;2x4x8x8:0,2,3,1")`)
 	elem := flag.Int("elem", 8, "element size in bytes (1, 2, 4 or 8)")
 	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS); part of the wisdom key")
 	out := flag.String("o", "wisdom.json", "output wisdom file")
@@ -41,8 +49,8 @@ func main() {
 		listWisdom(*list)
 		return
 	}
-	if *shapes == "" {
-		fmt.Fprintln(os.Stderr, "usage: xposetune -shapes RxC[,RxC...] [-elem B] [-o wisdom.json]")
+	if *shapes == "" && *perms == "" {
+		fmt.Fprintln(os.Stderr, "usage: xposetune -shapes RxC[,RxC...] [-perms dims:perm[;...]] [-elem B] [-o wisdom.json]")
 		os.Exit(2)
 	}
 
@@ -53,22 +61,55 @@ func main() {
 	}
 
 	cfg := inplace.TuneConfig{Workers: *workers, Fast: *fast}
-	for _, spec := range strings.Split(*shapes, ",") {
-		rows, cols, err := parseShape(spec)
-		if err != nil {
-			fatal(err)
+	if *shapes != "" {
+		for _, spec := range strings.Split(*shapes, ",") {
+			rows, cols, err := parseShape(spec)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := inplace.TuneElem(rows, cols, *elem, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res)
 		}
-		res, err := inplace.TuneElem(rows, cols, *elem, cfg)
-		if err != nil {
-			fatal(err)
+	}
+	if *perms != "" {
+		for _, spec := range strings.Split(*perms, ";") {
+			dims, perm, err := parsePermSpec(spec)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := inplace.TunePermuteElem(dims, perm, *elem, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res)
 		}
-		fmt.Println(res)
 	}
 
 	if err := inplace.SaveWisdom(*out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d decisions to %s\n", inplace.WisdomLen(), *out)
+	fmt.Printf("wrote %d decisions to %s\n", inplace.WisdomLen()+inplace.PermWisdomLen(), *out)
+}
+
+// parsePermSpec parses one "dims:perm" entry, e.g. "2x8x8x4:0,3,1,2".
+func parsePermSpec(spec string) (dims, perm []int, err error) {
+	spec = strings.TrimSpace(spec)
+	d, p, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, nil, fmt.Errorf("perm spec %q is not dims:perm", spec)
+	}
+	s, err := tensor.ParseShape(d)
+	if err != nil {
+		return nil, nil, fmt.Errorf("perm spec %q: %v", spec, err)
+	}
+	pp, err := tensor.ParsePerm(p, len(s))
+	if err != nil {
+		return nil, nil, fmt.Errorf("perm spec %q: %v", spec, err)
+	}
+	return s, pp, nil
 }
 
 func parseShape(spec string) (rows, cols int, err error) {
@@ -101,7 +142,7 @@ func listWisdom(path string) {
 	if err != nil {
 		fatal(err)
 	}
-	if t.Len() == 0 {
+	if t.Len() == 0 && t.PermLen() == 0 {
 		fmt.Printf("%s: no usable entries (empty or unknown version)\n", path)
 		return
 	}
@@ -113,6 +154,10 @@ func listWisdom(path string) {
 		}
 		fmt.Printf("%-24s %s %s workers=%d blockw=%d %.2f GB/s\n",
 			k, d.Variant, dir, d.Workers, d.BlockW, d.GBps)
+	}
+	for _, k := range t.PermKeys() {
+		d, _ := t.LookupPerm(k)
+		fmt.Printf("%-24s %s workers=%d %.2f GB/s\n", k, d.Strategy, d.Workers, d.GBps)
 	}
 }
 

@@ -112,6 +112,32 @@
 // that will be transposed many times, or batch-tune offline with
 // cmd/xposetune and ship the file.
 //
+// # N-dimensional axis permutation
+//
+// PermuteAxes reorders the axes of a row-major rank-k tensor in place,
+// with the 2D transpose as the rank-2 case (numpy convention: result
+// axis j is source axis perm[j]):
+//
+//	// NHWC -> NCHW
+//	inplace.PermuteAxes(data, []int{8, 32, 32, 16}, []int{0, 3, 1, 2},
+//	    inplace.Options{})
+//
+// The planner canonicalizes first — size-1 axes are stripped and axes
+// that stay adjacent in order collapse into one — and then factors the
+// canonical permutation into at most k-1 suffix-group exchanges, each
+// of which is a batched in-place 2D transpose over contiguous slabs
+// executed by the same Schedule/Engine stack as Transpose. A cost model
+// chooses between the greedy and inverse factorizations; when
+// Options.MaxScratchBytes caps auxiliary space below both
+// factorizations' floors, a strength-reduced cycle-leader walk with
+// O(1) extra space runs instead. Rank-2 perm [1, 0] takes exactly the
+// 2D planning path (same wisdom, zero warm allocations), and
+// NewPermutePlanner amortizes planning the same way NewPlanner does.
+// TunePermute measures strategy and worker candidates and stores the
+// winner in the wisdom table under the canonical form, so raw shapes
+// that collapse to the same form share the entry; the wisdom file's
+// optional "perm" section persists it and older files load unchanged.
+//
 // # Out-of-core transposition
 //
 // TransposeFile transposes a matrix stored on any io.ReaderAt+io.WriterAt

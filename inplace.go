@@ -85,6 +85,13 @@ type Options struct {
 	// LoadWisdom) before falling back to the static heuristics. The zero
 	// value WisdomAuto consults wisdom; see the Tuning constants.
 	Tuning Tuning
+	// MaxScratchBytes caps the auxiliary space the PermuteAxes planner
+	// may use: when positive and below every factorization's scratch
+	// floor (2·max(rows, cols)·elemSize of the worst pass), the planner
+	// falls back to the O(1)-space cycle-leader strategy. Zero means
+	// unbounded. The 2D paths ignore it — their floor is fixed by the
+	// shape.
+	MaxScratchBytes int
 }
 
 // Tuning selects how the planner uses the process wisdom table.
@@ -193,6 +200,10 @@ func checkShape(rows, cols int) (size int, err error) {
 // ErrNoWisdom reports a plan requested with WisdomRequired for a shape
 // the process wisdom table has no entry for.
 var ErrNoWisdom = errors.New("inplace: no wisdom for shape")
+
+// ErrPerm reports an axis list that is not a permutation of the tensor's
+// axes.
+var ErrPerm = errors.New("inplace: perm is not a permutation of the axes")
 
 // ErrUnknownMethod reports a Method value outside the declared set.
 var ErrUnknownMethod = errors.New("inplace: unknown method")

@@ -44,6 +44,8 @@ type microDims struct {
 	batchM, batchN   int
 	oocM, oocN       int // out-of-core engine, memory-backed
 	aosM, aosN       int // AoS -> SoA conversion
+
+	permN, permH, permW, permC int // NHWC<->NCHW axis-permutation round trip
 }
 
 func dimsFor(scale Scale) microDims {
@@ -57,6 +59,7 @@ func dimsFor(scale Scale) microDims {
 			batchCount: 16, batchM: 24, batchN: 16,
 			oocM: 64, oocN: 48,
 			aosM: 20000, aosN: 4,
+			permN: 2, permH: 8, permW: 8, permC: 4,
 		}
 	case LargeScale, PaperScale:
 		return microDims{
@@ -67,6 +70,7 @@ func dimsFor(scale Scale) microDims {
 			batchCount: 64, batchM: 96, batchN: 64,
 			oocM: 512, oocN: 384,
 			aosM: 500000, aosN: 4,
+			permN: 8, permH: 48, permW: 48, permC: 16,
 		}
 	default: // SmallScale: the dims of the historical micro suite
 		return microDims{
@@ -77,6 +81,7 @@ func dimsFor(scale Scale) microDims {
 			batchCount: 64, batchM: 48, batchN: 32,
 			oocM: 256, oocN: 192,
 			aosM: 200000, aosN: 4,
+			permN: 4, permH: 32, permW: 32, permC: 8,
 		}
 	}
 }
@@ -153,6 +158,40 @@ func MicroMatrix(scale Scale, workers []int, budgetDivs []int) []MicroCase {
 					FillSeq(data)
 					return func() {
 						if err := inplace.TransposeBatch(data, d.batchCount, d.batchM, d.batchN, inplace.Options{Workers: w}); err != nil {
+							panic(err)
+						}
+					}
+				},
+			},
+			MicroCase{
+				Name: fmt.Sprintf("permute_nhwc_%dx%dx%dx%d_w%d", d.permN, d.permH, d.permW, d.permC, w),
+				M:    d.permN * d.permH * d.permW, N: d.permC, ElemBytes: 8,
+				Prep: func() func() {
+					// One op is the NHWC->NCHW round trip on warm planners,
+					// so the buffer's layout is invariant across ops.
+					nhwc := []int{d.permN, d.permH, d.permW, d.permC}
+					nchw := []int{d.permN, d.permC, d.permH, d.permW}
+					fwd, err := inplace.NewPermutePlanner[uint64](nhwc, []int{0, 3, 1, 2}, inplace.Options{Workers: w})
+					if err != nil {
+						panic(err)
+					}
+					inv, err := inplace.NewPermutePlanner[uint64](nchw, []int{0, 2, 3, 1}, inplace.Options{Workers: w})
+					if err != nil {
+						panic(err)
+					}
+					data := make([]uint64, d.permN*d.permH*d.permW*d.permC)
+					FillSeq(data)
+					if err := fwd.Execute(data); err != nil {
+						panic(err)
+					}
+					if err := inv.Execute(data); err != nil {
+						panic(err)
+					}
+					return func() {
+						if err := fwd.Execute(data); err != nil {
+							panic(err)
+						}
+						if err := inv.Execute(data); err != nil {
 							panic(err)
 						}
 					}

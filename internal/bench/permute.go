@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"inplace"
+	"inplace/internal/mathutil"
+)
+
+func init() {
+	Register(Experiment{
+		ID: "permute", Title: "NHWC↔NCHW axis-permutation throughput sweep",
+		Axes: []string{"n", "h", "w", "c"}, Unit: "GB/s", Series: []string{"permute"},
+		Run: Permute,
+	})
+}
+
+// permuteShapes fixes the NHWC sweep per scale. The lists are literal —
+// no RNG — so the axis columns are identical across seeds and runs and
+// two envelopes compare series point by point.
+func permuteShapes(scale Scale) [][4]int {
+	switch scale {
+	case TinyScale:
+		return [][4]int{{2, 8, 8, 4}, {2, 6, 6, 8}}
+	case LargeScale, PaperScale:
+		return [][4]int{{8, 64, 64, 16}, {16, 48, 48, 32}, {4, 128, 128, 8}, {8, 96, 96, 24}}
+	default: // SmallScale
+		return [][4]int{{4, 32, 32, 8}, {8, 16, 16, 16}, {2, 64, 64, 4}, {16, 24, 24, 12}}
+	}
+}
+
+// Permute measures the rank-generic PermuteAxes on the tensor-layout
+// workload the ROADMAP names as the gateway scenario: NHWC→NCHW and the
+// inverse NCHW→NHWC, per shape, with warm planners (the canonical form
+// collapses H·W, so each direction is one batched 2D pass — the
+// experiment is the paper's three-pass engine driven through the rank-4
+// API). Reported per shape is the throughput of both directions.
+func Permute(cfg Config) []Result {
+	o := inplace.Options{Workers: cfg.Workers}
+	var csvRows [][]float64
+	text := "Permute: NHWC<->NCHW via PermuteAxes (warm planners, uint32 elements)\n"
+	for _, sh := range permuteShapes(cfg.Scale) {
+		n, h, w, c := sh[0], sh[1], sh[2], sh[3]
+		nhwc := []int{n, h, w, c}
+		nchw := []int{n, c, h, w}
+		fwd, err := inplace.NewPermutePlanner[uint32](nhwc, []int{0, 3, 1, 2}, o)
+		if err != nil {
+			panic(err)
+		}
+		inv, err := inplace.NewPermutePlanner[uint32](nchw, []int{0, 2, 3, 1}, o)
+		if err != nil {
+			panic(err)
+		}
+		nh, ok1 := mathutil.CheckedMul(n, h)
+		wc, ok2 := mathutil.CheckedMul(w, c)
+		size, ok3 := mathutil.CheckedMul(nh, wc)
+		if !ok1 || !ok2 || !ok3 {
+			panic("bench: permute shape overflows int")
+		}
+		data := make([]uint32, size)
+		FillSeq(data)
+		// Warm both arenas; the pair of executions is also the round trip
+		// that returns the buffer to NHWC for the timed runs.
+		if err := fwd.Execute(data); err != nil {
+			panic(err)
+		}
+		if err := inv.Execute(data); err != nil {
+			panic(err)
+		}
+		dFwd := Time(func() {
+			if err := fwd.Execute(data); err != nil {
+				panic(err)
+			}
+		})
+		dInv := Time(func() {
+			if err := inv.Execute(data); err != nil {
+				panic(err)
+			}
+		})
+		fwdG := ThroughputGBps(n*h*w, c, 4, dFwd)
+		invG := ThroughputGBps(n*h*w, c, 4, dInv)
+		text += fmt.Sprintf("  %dx%dx%dx%d  fwd %6.2f GB/s  inv %6.2f GB/s  (%s)\n",
+			n, h, w, c, fwdG, invG, fwd.Plan().Strategy())
+		csvRows = append(csvRows, []float64{
+			float64(n), float64(h), float64(w), float64(c), fwdG, invG,
+		})
+	}
+	return []Result{{
+		Name: "permute",
+		Text: text,
+		CSV:  CSV([]string{"n", "h", "w", "c", "fwd_gbps", "inv_gbps"}, csvRows),
+	}}
+}

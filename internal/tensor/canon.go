@@ -1,0 +1,91 @@
+package tensor
+
+// Canonicalize reduces an axis permutation to its minimal normal form:
+// size-1 axes are stripped (a unit axis contributes nothing to the
+// linear layout, wherever it sits), and every run of axes that the
+// permutation keeps adjacent and in order is collapsed into one axis
+// whose extent is the run's product. The returned (shape, perm) pair
+// describes the identical flat permutation of the identical buffer with
+// the smallest possible rank; a permutation that only shuffles unit
+// axes, or only relabels collapsed runs, canonicalizes to the identity.
+//
+// The collapse is what makes the factored execution cheap: NHWC→NCHW
+// (rank 4) canonicalizes to (N, H·W, C) with perm (0,2,1), which a
+// single batched 2D transpose realizes — H and W stay fused exactly as
+// Theorem 7 fuses the interior of a slab.
+//
+// The input shape must already be validated; Canonicalize performs no
+// overflow checks of its own (collapsed products divide the proven
+// total size).
+func Canonicalize(s Shape, p Perm) (Shape, Perm) {
+	// Pass 1: strip unit axes, renumbering the survivors in source order.
+	newID := make([]int, len(s))
+	var dims Shape
+	for i, d := range s {
+		if d == 1 {
+			newID[i] = -1
+			continue
+		}
+		newID[i] = len(dims)
+		dims = append(dims, d)
+	}
+	var perm Perm
+	for _, a := range p {
+		if newID[a] >= 0 {
+			perm = append(perm, newID[a])
+		}
+	}
+
+	// Pass 2: collapse runs that are consecutive in both the source
+	// order and the output order. Walking the output order, a run
+	// extends while the next output axis is the next source axis.
+	k := len(perm)
+	if k == 0 {
+		return Shape{}, Perm{}
+	}
+	type group struct{ start, end int } // source-axis interval [start, end]
+	var groups []group
+	for j := 0; j < k; {
+		g := group{start: perm[j], end: perm[j]}
+		j++
+		for j < k && perm[j] == g.end+1 {
+			g.end = perm[j]
+			j++
+		}
+		groups = append(groups, g)
+	}
+
+	// Renumber groups by source position, so the collapsed shape stays
+	// in source order and the collapsed perm lists groups in output
+	// order. Groups partition the source axes into disjoint intervals,
+	// so ordering by start index is a total order.
+	bySource := make([]int, len(dims)) // source axis -> group index in output order
+	for gi, g := range groups {
+		for a := g.start; a <= g.end; a++ {
+			bySource[a] = gi
+		}
+	}
+	srcOrder := make([]int, 0, len(groups)) // group indices in source order
+	for a := 0; a < len(dims); {
+		gi := bySource[a]
+		srcOrder = append(srcOrder, gi)
+		a = groups[gi].end + 1
+	}
+	rank := make([]int, len(groups)) // group index -> collapsed source axis id
+	cshape := make(Shape, len(groups))
+	for pos, gi := range srcOrder {
+		rank[gi] = pos
+		prod := 1
+		for a := groups[gi].start; a <= groups[gi].end; a++ {
+			prod *= dims[a]
+		}
+		cshape[pos] = prod
+	}
+	// groups was built walking the output order, so group j's collapsed
+	// source id is the canonical perm entry for output position j.
+	cperm := make(Perm, len(groups))
+	for j := range groups {
+		cperm[j] = rank[j]
+	}
+	return cshape, cperm
+}

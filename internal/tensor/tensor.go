@@ -1,0 +1,195 @@
+// Package tensor provides the rank-generic index algebra under the
+// public PermuteAxes API: validated Shape and Perm types, overflow-
+// guarded row-major stride math, a canonicalizer that reduces any
+// rank-k axis permutation to a minimal normal form, and factorizations
+// of that normal form into sequences of batched 2D transpositions that
+// the paper's three-pass engine executes per slab.
+//
+// The reduction is the generalization the paper's Theorem 7 hints at:
+// just as the 2D decomposition works because every pass permutes whole
+// slabs (rows or columns) whose interior layout is preserved, a rank-k
+// permutation decomposes into passes that each exchange two contiguous
+// axis groups of a suffix, leaving the leading axes as an outer slab
+// loop and the group interiors untouched. Each such exchange is exactly
+// an in-place 2D transpose of (group A size) × (group B size) applied
+// independently to every leading slab.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"inplace/internal/mathutil"
+)
+
+// ErrShape reports a shape with a non-positive dimension.
+var ErrShape = errors.New("tensor: dimensions must be positive")
+
+// ErrOverflow reports a shape whose element count does not fit in int.
+var ErrOverflow = errors.New("tensor: shape size overflows int")
+
+// ErrPerm reports an axis list that is not a permutation of 0..rank-1.
+var ErrPerm = errors.New("tensor: perm is not a permutation of the axes")
+
+// Shape is the dimension list of a rank-k tensor, outermost axis first
+// (row-major semantics throughout).
+type Shape []int
+
+// Validate checks every dimension is positive and the element count
+// fits in int, returning the count.
+func (s Shape) Validate() (size int, err error) {
+	size = 1
+	for _, d := range s {
+		if d <= 0 {
+			return 0, fmt.Errorf("%w (got %v)", ErrShape, s)
+		}
+		var ok bool
+		size, ok = mathutil.CheckedMul(size, d)
+		if !ok {
+			return 0, fmt.Errorf("%w (got %v)", ErrOverflow, s)
+		}
+	}
+	return size, nil
+}
+
+// Size returns the element count of a shape already proven valid.
+func (s Shape) Size() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape { return append(Shape(nil), s...) }
+
+// String formats the shape as "2x3x4" ("scalar" for rank 0).
+func (s Shape) String() string {
+	if len(s) == 0 {
+		return "scalar"
+	}
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+// ParseShape parses a "2x3x4" dimension list.
+func ParseShape(spec string) (Shape, error) {
+	parts := strings.Split(strings.TrimSpace(spec), "x")
+	s := make(Shape, 0, len(parts))
+	for _, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%w (bad dims %q)", ErrShape, spec)
+		}
+		s = append(s, d)
+	}
+	if _, err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Strides returns the row-major strides of the shape (stride[i] is the
+// linear distance between consecutive indices of axis i), and reports
+// whether every stride product fits in int. A valid shape's strides
+// always fit, since the largest stride is bounded by the size.
+func Strides(s Shape) ([]int, bool) {
+	k := len(s)
+	st := make([]int, k)
+	acc := 1
+	for i := k - 1; i >= 0; i-- {
+		st[i] = acc
+		var ok bool
+		acc, ok = mathutil.CheckedMul(acc, s[i])
+		if !ok {
+			return nil, false
+		}
+	}
+	return st, true
+}
+
+// Perm is an axis permutation in the numpy.transpose convention: axis j
+// of the result is axis Perm[j] of the input.
+type Perm []int
+
+// Validate checks p is a permutation of 0..rank-1.
+func (p Perm) Validate(rank int) error {
+	if len(p) != rank {
+		return fmt.Errorf("%w (rank %d, got %d axes)", ErrPerm, rank, len(p))
+	}
+	seen := make([]bool, rank)
+	for _, a := range p {
+		if a < 0 || a >= rank || seen[a] {
+			return fmt.Errorf("%w (got %v)", ErrPerm, []int(p))
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// IsIdentity reports whether p maps every axis to itself.
+func (p Perm) IsIdentity() bool {
+	for j, a := range p {
+		if a != j {
+			return false
+		}
+	}
+	return true
+}
+
+// Inverse returns the inverse permutation: Inverse()[p[j]] == j.
+func (p Perm) Inverse() Perm {
+	inv := make(Perm, len(p))
+	for j, a := range p {
+		inv[a] = j
+	}
+	return inv
+}
+
+// Clone returns a copy of the permutation.
+func (p Perm) Clone() Perm { return append(Perm(nil), p...) }
+
+// String formats the permutation as "2,0,1" ("id" for rank 0).
+func (p Perm) String() string {
+	if len(p) == 0 {
+		return "id"
+	}
+	parts := make([]string, len(p))
+	for i, a := range p {
+		parts[i] = strconv.Itoa(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePerm parses a "2,0,1" axis list and validates it against rank.
+func ParsePerm(spec string, rank int) (Perm, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ",")
+	p := make(Perm, 0, len(parts))
+	for _, s := range parts {
+		a, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("%w (bad perm %q)", ErrPerm, spec)
+		}
+		p = append(p, a)
+	}
+	if err := p.Validate(rank); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Permuted returns the shape after applying the permutation: result
+// dimension j is s[p[j]].
+func Permuted(s Shape, p Perm) Shape {
+	out := make(Shape, len(p))
+	for j, a := range p {
+		out[j] = s[a]
+	}
+	return out
+}

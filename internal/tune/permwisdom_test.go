@@ -1,0 +1,126 @@
+package tune
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func permTable() *Table {
+	t := NewTable()
+	t.StorePerm(
+		PermKey{Dims: "8x1024x16", Perm: "0,2,1", ElemSize: 4, MaxWorkers: 8},
+		PermDecision{Strategy: "greedy", Workers: 4, GBps: 12.5},
+	)
+	t.StorePerm(
+		PermKey{Dims: "64x128", Perm: "1,0", ElemSize: 8, MaxWorkers: 1},
+		PermDecision{Strategy: "inverse", Workers: 1},
+	)
+	t.StorePerm(
+		PermKey{Dims: "5x7x11", Perm: "2,1,0", ElemSize: 1, MaxWorkers: 2},
+		PermDecision{Strategy: "cycle", Workers: 1, GBps: 0.9},
+	)
+	return t
+}
+
+func TestPermWisdomRoundTrip(t *testing.T) {
+	tab := permTable()
+	// Mix in 2D and OOC entries so all three sections coexist in one file.
+	tab.Store(Key{Rows: 64, Cols: 128, ElemSize: 4, MaxWorkers: 4},
+		Decision{Variant: "scatter", C2R: true, Workers: 2})
+	tab.StoreOOC(OOCKey{Rows: 1 << 14, Cols: 1 << 14, ElemSize: 8, BudgetLog2: 26},
+		OOCDecision{SegmentBytes: 1 << 22, Depth: 2, Workers: 4})
+
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !got.Equal(tab) {
+		t.Fatalf("round trip lost entries: got %d perm, want %d", got.PermLen(), tab.PermLen())
+	}
+
+	// Determinism: identical tables serialize identically.
+	var buf2 bytes.Buffer
+	if err := got.Save(&buf2); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("serialization is not deterministic")
+	}
+}
+
+// A v1 table written before the perm section existed must load cleanly
+// with zero perm entries — the new key is optional, not a format bump.
+func TestPermWisdomVersionSkew(t *testing.T) {
+	old := `{
+  "version": 1,
+  "entries": [
+    {"rows": 64, "cols": 128, "elem_size": 4, "max_workers": 4,
+     "variant": "scatter", "c2r": true, "workers": 2}
+  ]
+}`
+	tab, err := Load(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("Load v1 table without perm section: %v", err)
+	}
+	if tab.PermLen() != 0 {
+		t.Fatalf("PermLen = %d, want 0", tab.PermLen())
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+
+	// And the other direction: a future-versioned file carrying a perm
+	// section this reader can't interpret reads as empty, not corrupt.
+	future := `{"version": 99, "perm": [{"dims": "??", "whatever": true}]}`
+	tab, err = Load(strings.NewReader(future))
+	if err != nil {
+		t.Fatalf("Load future version: %v", err)
+	}
+	if tab.Len() != 0 || tab.PermLen() != 0 {
+		t.Fatal("future version should load as empty table")
+	}
+}
+
+func TestPermWisdomValidation(t *testing.T) {
+	bad := []string{
+		// Non-canonical garbage dims.
+		`{"version": 1, "perm": [{"dims": "0x4", "perm": "1,0", "elem_size": 4, "max_workers": 1, "strategy": "greedy", "workers": 1}]}`,
+		// Perm not matching rank.
+		`{"version": 1, "perm": [{"dims": "2x3x4", "perm": "1,0", "elem_size": 4, "max_workers": 1, "strategy": "greedy", "workers": 1}]}`,
+		// Unknown strategy.
+		`{"version": 1, "perm": [{"dims": "2x3", "perm": "1,0", "elem_size": 4, "max_workers": 1, "strategy": "warp", "workers": 1}]}`,
+		// Zero workers.
+		`{"version": 1, "perm": [{"dims": "2x3", "perm": "1,0", "elem_size": 4, "max_workers": 1, "strategy": "greedy", "workers": 0}]}`,
+	}
+	for i, in := range bad {
+		if _, err := Load(strings.NewReader(in)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestPermWisdomMergeClone(t *testing.T) {
+	a := permTable()
+	b := NewTable()
+	k := PermKey{Dims: "8x1024x16", Perm: "0,2,1", ElemSize: 4, MaxWorkers: 8}
+	b.StorePerm(k, PermDecision{Strategy: "cycle", Workers: 1}) // overwrites
+	a.Merge(b)
+	if d, _ := a.LookupPerm(k); d.Strategy != "cycle" {
+		t.Fatalf("Merge did not overwrite: %+v", d)
+	}
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("Clone not equal")
+	}
+	c.StorePerm(PermKey{Dims: "2x2", Perm: "1,0", ElemSize: 1, MaxWorkers: 1},
+		PermDecision{Strategy: "greedy", Workers: 1})
+	if c.Equal(a) {
+		t.Fatal("Clone shares state with original")
+	}
+}

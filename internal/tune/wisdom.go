@@ -93,13 +93,18 @@ func (d Decision) validate() error {
 // that share one across goroutines (the package-level wisdom store in
 // the public API) serialize access themselves.
 type Table struct {
-	m   map[Key]Decision
-	ooc map[OOCKey]OOCDecision
+	m    map[Key]Decision
+	ooc  map[OOCKey]OOCDecision
+	perm map[PermKey]PermDecision
 }
 
 // NewTable returns an empty wisdom table.
 func NewTable() *Table {
-	return &Table{m: make(map[Key]Decision), ooc: make(map[OOCKey]OOCDecision)}
+	return &Table{
+		m:    make(map[Key]Decision),
+		ooc:  make(map[OOCKey]OOCDecision),
+		perm: make(map[PermKey]PermDecision),
+	}
 }
 
 // Lookup returns the decision recorded for k, if any.
@@ -146,6 +151,9 @@ func (t *Table) Merge(other *Table) {
 	for k, d := range other.ooc {
 		t.ooc[k] = d
 	}
+	for k, d := range other.perm {
+		t.perm[k] = d
+	}
 }
 
 // Clone returns a deep copy of t.
@@ -157,7 +165,7 @@ func (t *Table) Clone() *Table {
 
 // Equal reports whether two tables hold identical entries.
 func (t *Table) Equal(other *Table) bool {
-	if len(t.m) != len(other.m) || len(t.ooc) != len(other.ooc) {
+	if len(t.m) != len(other.m) || len(t.ooc) != len(other.ooc) || len(t.perm) != len(other.perm) {
 		return false
 	}
 	for k, d := range t.m {
@@ -170,14 +178,20 @@ func (t *Table) Equal(other *Table) bool {
 			return false
 		}
 	}
+	for k, d := range t.perm {
+		if od, ok := other.perm[k]; !ok || od != d {
+			return false
+		}
+	}
 	return true
 }
 
 // wisdomFile is the on-disk envelope.
 type wisdomFile struct {
-	Version int            `json:"version"`
-	Entries []wisdomEntry  `json:"entries"`
-	OOC     []oocFileEntry `json:"ooc,omitempty"`
+	Version int             `json:"version"`
+	Entries []wisdomEntry   `json:"entries"`
+	OOC     []oocFileEntry  `json:"ooc,omitempty"`
+	Perm    []permFileEntry `json:"perm,omitempty"`
 }
 
 type wisdomEntry struct {
@@ -190,6 +204,11 @@ type oocFileEntry struct {
 	OOCDecision
 }
 
+type permFileEntry struct {
+	PermKey
+	PermDecision
+}
+
 // Save writes the table to w as versioned JSON with entries in
 // deterministic key order, so identical tables serialize identically
 // (the round-trip property the fuzz harness asserts).
@@ -200,6 +219,9 @@ func (t *Table) Save(w io.Writer) error {
 	}
 	for _, k := range t.OOCKeys() {
 		f.OOC = append(f.OOC, oocFileEntry{OOCKey: k, OOCDecision: t.ooc[k]})
+	}
+	for _, k := range t.PermKeys() {
+		f.Perm = append(f.Perm, permFileEntry{PermKey: k, PermDecision: t.perm[k]})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -258,6 +280,15 @@ func Load(r io.Reader) (*Table, error) {
 			return nil, err
 		}
 		t.StoreOOC(e.OOCKey, e.OOCDecision)
+	}
+	for _, e := range f.Perm {
+		if err := e.PermKey.validate(); err != nil {
+			return nil, err
+		}
+		if err := e.PermDecision.validate(); err != nil {
+			return nil, err
+		}
+		t.StorePerm(e.PermKey, e.PermDecision)
 	}
 	return t, nil
 }

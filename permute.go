@@ -1,0 +1,487 @@
+package inplace
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"inplace/internal/mathutil"
+	"inplace/internal/parallel"
+	"inplace/internal/stats"
+	"inplace/internal/tensor"
+)
+
+// Rank-generic axis permutation: PermuteAxes reorders the axes of a
+// row-major rank-k tensor in place, generalizing Transpose (the rank-2
+// case with perm [1,0]) to arbitrary rank. The 2D three-pass engine
+// stays the only data mover: the permutation is canonicalized (size-1
+// axes stripped, fused runs collapsed — see internal/tensor) and the
+// normal form factored into a sequence of batched 2D transpositions,
+// each executed by the existing Schedule/Engine per contiguous slab.
+// The rank-2 [1,0] case canonicalizes to exactly one single-slab step
+// planned by the same newPlanElem path Transpose uses, so there is one
+// planning path, not two.
+//
+// When the factored path's scratch floor exceeds Options.
+// MaxScratchBytes, the planner falls back to a cycle-leader walk over
+// the affine flat-index map (the reversal-method regime: O(1) auxiliary
+// space, O(n·L) index work).
+
+// PermutePlan caches the canonical form, chosen strategy and factored 2D
+// step plans for permuting one (dims, perm) pair repeatedly.
+type PermutePlan struct {
+	dims tensor.Shape // raw dims as given
+	perm tensor.Perm  // raw perm as given
+	size int          // product of dims, proven to fit in int
+
+	canonDims string // canonical shape key, e.g. "8x1024x16"
+	canonPerm string // canonical perm key, e.g. "0,2,1"
+
+	strategy string     // tensor.Strategy* name, or "noop"
+	steps    []permStep // factored 2D passes (strategy greedy/inverse)
+	cyc      *cyclePlan // cycle-leader fallback (strategy cycle)
+	workers  int        // resolved Workers option, for slab dispatch
+}
+
+// permStep is one batched pass: transpose `slabs` back-to-back slabs of
+// `stride` elements each, with the shared 2D plan.
+type permStep struct {
+	slabs  int
+	stride int
+	plan   *Plan
+}
+
+// permStrategyNoop names the empty plan of an identity permutation.
+const permStrategyNoop = "noop"
+
+// permShapeErr, permErr and permWisdomErr build the validation errors
+// out of line, mirroring shapeErr/lengthErr.
+func permShapeErr(dims []int, cause error) error {
+	if errors.Is(cause, tensor.ErrOverflow) {
+		return fmt.Errorf("%w (dims %v)", ErrOverflow, dims)
+	}
+	return fmt.Errorf("%w (dims %v)", ErrShape, dims)
+}
+
+func permErr(perm, dims []int) error {
+	return fmt.Errorf("%w (perm %v for rank %d)", ErrPerm, perm, len(dims))
+}
+
+func permWisdomErr(dims, perm string, elemSize int) error {
+	return fmt.Errorf("%w (%s perm %s, %d-byte elements)", ErrNoWisdom, dims, perm, elemSize)
+}
+
+// planPermute validates, canonicalizes and factors one permutation
+// problem. forced, when non-empty, bypasses wisdom and the cost model
+// and builds the named strategy (the tuner's measurement path).
+func planPermute(dims, perm []int, o Options, elemSize int, forced string) (*PermutePlan, error) {
+	s := tensor.Shape(dims).Clone()
+	size, err := s.Validate()
+	if err != nil {
+		return nil, permShapeErr(dims, err)
+	}
+	p := tensor.Perm(perm).Clone()
+	if err := p.Validate(len(s)); err != nil {
+		return nil, permErr(perm, dims)
+	}
+	// PermuteAxes addresses the buffer through dims directly; the 2D
+	// Order convention does not apply (a column-major tensor is described
+	// by reversing dims and perm instead).
+	o.Order = RowMajor
+
+	cs, cp := tensor.Canonicalize(s, p)
+	pp := &PermutePlan{
+		dims: s, perm: p, size: size,
+		canonDims: cs.String(), canonPerm: cp.String(),
+	}
+	if cp.IsIdentity() {
+		pp.strategy = permStrategyNoop
+		return pp, nil
+	}
+
+	strategy := forced
+	if strategy == "" && elemSize > 0 && o.Tuning != WisdomOff {
+		if d, ok := lookupPermWisdom(pp.canonDims, pp.canonPerm, elemSize, o.Workers); ok {
+			strategy = d.Strategy
+			if o.Workers == 0 {
+				o.Workers = d.Workers
+			}
+		} else if o.Tuning == WisdomRequired {
+			return nil, permWisdomErr(pp.canonDims, pp.canonPerm, elemSize)
+		}
+	}
+	pp.workers = o.Workers
+
+	greedy := tensor.FactorGreedy(cs, cp)
+	inverse := tensor.FactorInverse(cs, cp)
+	if strategy == "" {
+		// Budget first: a factorization whose scratch floor exceeds the
+		// caller's bound is not a candidate (the reversal-method regime).
+		fits := func(steps []tensor.Step) bool {
+			return o.MaxScratchBytes <= 0 || elemSize <= 0 ||
+				tensor.ScratchFloor(steps, elemSize) <= o.MaxScratchBytes
+		}
+		gFit, iFit := fits(greedy), fits(inverse)
+		switch {
+		case gFit && iFit:
+			if tensor.Cost(inverse) < tensor.Cost(greedy) {
+				strategy = tensor.StrategyInverse
+			} else {
+				strategy = tensor.StrategyGreedy
+			}
+		case gFit:
+			strategy = tensor.StrategyGreedy
+		case iFit:
+			strategy = tensor.StrategyInverse
+		default:
+			strategy = tensor.StrategyCycle
+		}
+	}
+	pp.strategy = strategy
+
+	var steps []tensor.Step
+	switch strategy {
+	case tensor.StrategyGreedy:
+		steps = greedy
+	case tensor.StrategyInverse:
+		steps = inverse
+	case tensor.StrategyCycle:
+		pp.cyc = newCyclePlan(cs, cp)
+		return pp, nil
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, strategy)
+	}
+
+	pp.steps = make([]permStep, len(steps))
+	for i, st := range steps {
+		stepO := o
+		stepO.MaxScratchBytes = 0
+		if st.Slabs > 1 {
+			// The slab dimension provides the parallelism; each slab
+			// transposes single-threaded so pool dispatches never nest
+			// (the TransposeBatch discipline).
+			stepO.Workers = 1
+		}
+		if stepO.Tuning == WisdomRequired {
+			// The perm-level wisdom requirement was checked above; the
+			// factored 2D shapes consult 2D wisdom opportunistically.
+			stepO.Tuning = WisdomAuto
+		}
+		p2, err := newPlanElem(st.Rows, st.Cols, stepO, elemSize)
+		if err != nil {
+			return nil, err
+		}
+		pp.steps[i] = permStep{slabs: st.Slabs, stride: st.Rows * st.Cols, plan: p2}
+	}
+	return pp, nil
+}
+
+// NewPermutePlan validates and factors a permutation plan without
+// binding an element type (so, like NewPlan, it never consults wisdom,
+// and Options.MaxScratchBytes — a byte budget that needs the element
+// size — is ignored; use NewPermutePlanner for both).
+func NewPermutePlan(dims, perm []int, o Options) (*PermutePlan, error) {
+	return planPermute(dims, perm, o, 0, "")
+}
+
+// Dims returns a copy of the plan's dimension list.
+func (pp *PermutePlan) Dims() []int { return pp.dims.Clone() }
+
+// Perm returns a copy of the plan's axis permutation.
+func (pp *PermutePlan) Perm() []int { return pp.perm.Clone() }
+
+// Size returns the element count of the plan's tensor.
+func (pp *PermutePlan) Size() int { return pp.size }
+
+// Strategy names the execution strategy the planner chose: "greedy" or
+// "inverse" for the factored 2D paths, "cycle" for the O(1)-space
+// fallback, "noop" for permutations that canonicalize to the identity.
+func (pp *PermutePlan) Strategy() string { return pp.strategy }
+
+// Passes returns the number of batched 2D passes the plan executes
+// (0 for noop and cycle plans).
+func (pp *PermutePlan) Passes() int { return len(pp.steps) }
+
+// String describes the plan.
+func (pp *PermutePlan) String() string {
+	return fmt.Sprintf("inplace.PermutePlan(%s perm %s %s/%d-pass)",
+		pp.dims.String(), pp.perm.String(), pp.strategy, len(pp.steps))
+}
+
+// --- Cycle-leader fallback ---
+
+// cyclePlan executes the permutation as a cycle-leader walk over the
+// affine flat-index map: element at flat source index s moves to
+// dest(s) = Σ_i coord_i(s)·w_i, where w_i is the destination stride of
+// source axis i. No scratch is allocated; each cycle is rotated through
+// a single temporary element.
+type cyclePlan struct {
+	n    int
+	divs []mathutil.Divider // fixed-point divisors for the source dims
+	w    []int              // destination stride of each source axis
+}
+
+func newCyclePlan(cs tensor.Shape, cp tensor.Perm) *cyclePlan {
+	dstStrides, ok := tensor.Strides(tensor.Permuted(cs, cp))
+	if !ok {
+		// The shape validated, so its permuted strides fit too.
+		panic("inplace: permuted strides overflow for a validated shape")
+	}
+	inv := cp.Inverse()
+	c := &cyclePlan{n: cs.Size(), divs: make([]mathutil.Divider, len(cs)), w: make([]int, len(cs))}
+	for i, d := range cs {
+		c.divs[i] = mathutil.NewDivider(d)
+		c.w[i] = dstStrides[inv[i]]
+	}
+	return c
+}
+
+// dest maps a flat source index to its flat destination index, decoding
+// the source coordinates innermost axis first.
+//
+//xpose:hotpath
+func (c *cyclePlan) dest(s int) int {
+	d := 0
+	for i := len(c.divs) - 1; i >= 0; i-- {
+		q, r := c.divs[i].DivMod(s)
+		d += r * c.w[i]
+		s = q
+	}
+	return d
+}
+
+// cycleApply permutes data in place by following each cycle of the
+// index map from its leader (the cycle's minimum index), rotating the
+// values through one temporary. Leadership is decided by walking the
+// cycle, which is the O(n·L) index work the cycle strategy trades for
+// its O(1) space.
+//
+//xpose:hotpath
+func cycleApply[T any](c *cyclePlan, data []T) {
+	n := c.n
+	for start := 0; start < n; start++ {
+		d := c.dest(start)
+		if d == start {
+			continue
+		}
+		leader := true
+		for j := d; j != start; j = c.dest(j) {
+			if j < start {
+				leader = false
+				break
+			}
+		}
+		if !leader {
+			continue
+		}
+		tmp := data[start]
+		cur := start
+		for {
+			nxt := c.dest(cur)
+			if nxt == start {
+				data[start] = tmp
+				break
+			}
+			data[nxt], tmp = tmp, data[nxt]
+			cur = nxt
+		}
+	}
+}
+
+// --- Typed planner ---
+
+// PermutePlanner binds a PermutePlan to an element type: one engine per
+// factored pass, each owning its schedule and recycled scratch arena.
+// After the first Execute has warmed the arenas, subsequent Executes of
+// single-slab plans (every rank-2 transpose, and every shape whose
+// canonical form needs no slab batching) perform no heap allocation.
+//
+// A PermutePlanner is safe for concurrent use, like Planner.
+type PermutePlanner[T any] struct {
+	pp  *PermutePlan
+	pls []*Planner[T]
+}
+
+// NewPermutePlanner validates dims and perm and precomputes an execution
+// plan for permuting the axes of rank-k arrays of T repeatedly. The
+// variadic opts follows NewPlanner: at most one Options value is
+// honoured. Knowing the element type, it consults the process wisdom
+// table's perm section (see TunePermute) for the strategy, and the 2D
+// section for each factored pass.
+func NewPermutePlanner[T any](dims, perm []int, opts ...Options) (*PermutePlanner[T], error) {
+	o := Options{}
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	pp, err := planPermute(dims, perm, o, int(reflect.TypeFor[T]().Size()), "")
+	if err != nil {
+		return nil, err
+	}
+	return newPermutePlanner[T](pp), nil
+}
+
+func newPermutePlanner[T any](pp *PermutePlan) *PermutePlanner[T] {
+	pl := &PermutePlanner[T]{pp: pp}
+	if len(pp.steps) > 0 {
+		pl.pls = make([]*Planner[T], len(pp.steps))
+		for i, st := range pp.steps {
+			pl.pls[i] = newPlanner[T](st.plan)
+		}
+	}
+	return pl
+}
+
+// Execute permutes data in place according to the plan. data must hold
+// Size() elements of the row-major dims tensor; afterwards element
+// (i_0, ..., i_{k-1}) of the permuted tensor — whose axis j is source
+// axis perm[j] — lives at its row-major offset for the permuted dims.
+//
+//xpose:hotpath
+func (pl *PermutePlanner[T]) Execute(data []T) error {
+	pp := pl.pp
+	if len(data) != pp.size {
+		return lengthErr(len(data), pp.size)
+	}
+	if len(pp.steps) == 0 {
+		if pp.cyc != nil {
+			cycleApply(pp.cyc, data)
+		}
+		return nil
+	}
+	for i := range pl.pls {
+		if pp.steps[i].slabs == 1 {
+			if err := pl.pls[i].Execute(data); err != nil {
+				return err
+			}
+			continue
+		}
+		pl.executeSlabs(i, data)
+	}
+	return nil
+}
+
+// executeSlabs runs one multi-slab pass, parallelizing over slabs on the
+// shared pool (each slab's engine is single-worker, so dispatches never
+// nest). Split out of Execute to keep the hot path closure-free.
+func (pl *PermutePlanner[T]) executeSlabs(i int, data []T) {
+	st := pl.pp.steps[i]
+	p := pl.pls[i]
+	stride := st.stride
+	run := func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			// Execute only fails on a length mismatch, which the plan's
+			// slab geometry excludes.
+			if err := p.Execute(data[k*stride : (k+1)*stride]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if parallel.Workers(pl.pp.workers) > 1 {
+		parallel.Shared().For(st.slabs, pl.pp.workers, run)
+	} else {
+		parallel.For(st.slabs, pl.pp.workers, run)
+	}
+}
+
+// Plan returns the underlying permutation plan.
+func (pl *PermutePlanner[T]) Plan() *PermutePlan { return pl.pp }
+
+// String describes the planner.
+func (pl *PermutePlanner[T]) String() string { return pl.pp.String() }
+
+// --- Cached entry point ---
+
+// PermuteAxes permutes the axes of the row-major tensor held in data, in
+// place: data holds a rank-k array with the given dims, and afterwards
+// holds the array whose axis j is source axis perm[j] (the
+// numpy.transpose convention), in row-major order of the permuted dims.
+// PermuteAxes(data, dims, [1,0]) of a rank-2 tensor is exactly
+// Transpose(data, dims[0], dims[1]).
+//
+// Calls route through a process-wide planner cache keyed by dims, perm,
+// options and element type, like TransposeWith; callers wanting explicit
+// control over plan lifetime should hold a PermutePlanner.
+//
+//xpose:hotpath
+func PermuteAxes[T any](data []T, dims, perm []int, opts ...Options) error {
+	o := Options{}
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	pl, err := permPlannerFor[T](dims, perm, o)
+	if err != nil {
+		return err
+	}
+	return pl.Execute(data)
+}
+
+// permKey identifies one cached permutation planner. Dims and perm enter
+// in their canonical string forms' raw spelling (the exact dims/perm the
+// caller passed), so distinct raw shapes that share a canonical form get
+// distinct planners — their Execute length checks differ.
+type permKey struct {
+	dims, perm string
+	opts       Options
+	typ        reflect.Type
+}
+
+var permCache struct {
+	mu    sync.RWMutex
+	m     map[permKey]any
+	order []permKey
+}
+
+var (
+	permCacheHits      = stats.Default().Counter("perm_cache_hits")
+	permCacheMisses    = stats.Default().Counter("perm_cache_misses")
+	permCacheEvictions = stats.Default().Counter("perm_cache_evictions")
+)
+
+// flushPermCache drops every cached permutation planner; called with the
+// 2D flush whenever the wisdom table mutates.
+func flushPermCache() {
+	permCache.mu.Lock()
+	permCache.m = nil
+	permCache.order = nil
+	permCache.mu.Unlock()
+}
+
+// permPlannerFor returns the cached permutation planner for
+// (dims, perm, o, T), building and inserting it on first use.
+func permPlannerFor[T any](dims, perm []int, o Options) (*PermutePlanner[T], error) {
+	key := permKey{
+		dims: tensor.Shape(dims).String(),
+		perm: tensor.Perm(perm).String(),
+		opts: o,
+		typ:  reflect.TypeFor[T](),
+	}
+	permCache.mu.RLock()
+	v, ok := permCache.m[key]
+	permCache.mu.RUnlock()
+	if ok {
+		permCacheHits.Inc()
+		return v.(*PermutePlanner[T]), nil
+	}
+	permCacheMisses.Inc()
+	pl, err := NewPermutePlanner[T](dims, perm, o)
+	if err != nil {
+		return nil, err
+	}
+	permCache.mu.Lock()
+	defer permCache.mu.Unlock()
+	if v, ok := permCache.m[key]; ok {
+		return v.(*PermutePlanner[T]), nil
+	}
+	if permCache.m == nil {
+		permCache.m = make(map[permKey]any)
+	}
+	for len(permCache.order) >= plannerCacheCap {
+		delete(permCache.m, permCache.order[0])
+		permCache.order = permCache.order[1:]
+		permCacheEvictions.Inc()
+	}
+	permCache.m[key] = pl
+	permCache.order = append(permCache.order, key)
+	return pl, nil
+}

@@ -144,14 +144,16 @@ func PlannerCacheStats() CacheStats {
 	}
 }
 
-// flushPlannerCache drops every cached planner. Called when the wisdom
-// table changes, since cached planners embed decisions resolved against
-// the old wisdom. Flushed entries do not count as evictions.
+// flushPlannerCache drops every cached planner — 2D and permutation
+// alike. Called when the wisdom table changes, since cached planners
+// embed decisions resolved against the old wisdom. Flushed entries do
+// not count as evictions.
 func flushPlannerCache() {
 	plannerCache.mu.Lock()
 	plannerCache.m = nil
 	plannerCache.order = nil
 	plannerCache.mu.Unlock()
+	flushPermCache()
 }
 
 // plannerFor returns the cached planner for (rows, cols, o, T),
