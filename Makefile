@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-report lint-bench lint-race vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke perm-smoke clean
+.PHONY: ci vet lint lint-report lint-bench lint-race vuln build test race fuzz bench bench-gate bench-baseline tune-smoke ooc-smoke serve-smoke perm-smoke store-smoke clean
 
 # ci is the full gate: static checks (vet plus the xposelint suite,
 # with its golden tests re-run under the race detector and a wall-clock
@@ -9,7 +9,7 @@ GO ?= go
 # out-of-core round trip on a real temp file, the daemon selftest, the
 # benchmark regression gate against the committed baseline, and a
 # best-effort vulnerability scan.
-ci: vet lint lint-race lint-bench build test race tune-smoke ooc-smoke serve-smoke perm-smoke bench-gate vuln
+ci: vet lint lint-race lint-bench build test race tune-smoke ooc-smoke serve-smoke perm-smoke store-smoke bench-gate vuln
 
 vet:
 	$(GO) vet ./...
@@ -86,6 +86,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzAOSRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzWisdomRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tune
 	$(GO) test -fuzz '^FuzzOOCRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/ooc
+	$(GO) test -fuzz '^FuzzTilestore$$' -fuzztime $(FUZZTIME) ./internal/tilestore
 
 bench:
 	$(GO) test -bench . -benchmem .
@@ -96,7 +97,7 @@ bench:
 # committed baseline. Alloc-count regressions and missing series fail
 # hard; wall-clock deltas only warn, because the baseline may have been
 # measured on a different host where throughput does not transfer.
-BENCH_GATE_RUN = ^(transpose|planner|aos_to_soa|ooc|permute)_
+BENCH_GATE_RUN = ^(transpose|planner|aos_to_soa|ooc|permute|tilestore)_
 bench-gate:
 	mkdir -p results
 	$(GO) run ./cmd/benchorch run -preset quick -seed 2014 -run '$(BENCH_GATE_RUN)' -q -json results/bench-latest.json
@@ -136,6 +137,13 @@ perm-smoke:
 	./results/xpose.bin -dims 2x4x8x8 -perm 0,2,3,1 -elem 8 results/perm-smoke.bin
 	cmp results/perm-smoke.bin results/perm-smoke.orig
 	@echo "perm-smoke: NHWC<->NCHW round trip byte-identical"
+
+# store-smoke runs the columnar tile store's acceptance demo: a
+# projection must read strictly fewer backend bytes than a full scan,
+# repeated scans must run >90% out of the block cache, and an ingest
+# killed mid-write must leave the dataset absent-or-fully-valid.
+store-smoke:
+	$(GO) run ./cmd/xposestore selftest
 
 # serve-smoke boots the xposed daemon in-process and runs its
 # acceptance demo: 64 concurrent clients over TCP with plan sharing and

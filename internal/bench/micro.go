@@ -29,6 +29,7 @@ type MicroCase struct {
 	M, N      int
 	ElemBytes int
 	Prep      func() func() // returns the per-op body
+	Cleanup   func()        // optional: releases Prep's resources (temp dirs, handles)
 }
 
 // microDims fixes the micro shape families at one workload scale. The
@@ -45,6 +46,8 @@ type microDims struct {
 	oocM, oocN       int // out-of-core engine, memory-backed
 	aosM, aosN       int // AoS -> SoA conversion
 
+	storeRows, storeFields, storeProj, storeChunk int // tile-store warm projection
+
 	permN, permH, permW, permC int // NHWC<->NCHW axis-permutation round trip
 }
 
@@ -59,6 +62,7 @@ func dimsFor(scale Scale) microDims {
 			batchCount: 16, batchM: 24, batchN: 16,
 			oocM: 64, oocN: 48,
 			aosM: 20000, aosN: 4,
+			storeRows: 2048, storeFields: 16, storeProj: 3, storeChunk: 512,
 			permN: 2, permH: 8, permW: 8, permC: 4,
 		}
 	case LargeScale, PaperScale:
@@ -70,6 +74,7 @@ func dimsFor(scale Scale) microDims {
 			batchCount: 64, batchM: 96, batchN: 64,
 			oocM: 512, oocN: 384,
 			aosM: 500000, aosN: 4,
+			storeRows: 32768, storeFields: 16, storeProj: 3, storeChunk: 4096,
 			permN: 8, permH: 48, permW: 48, permC: 16,
 		}
 	default: // SmallScale: the dims of the historical micro suite
@@ -81,6 +86,7 @@ func dimsFor(scale Scale) microDims {
 			batchCount: 64, batchM: 48, batchN: 32,
 			oocM: 256, oocN: 192,
 			aosM: 200000, aosN: 4,
+			storeRows: 8192, storeFields: 16, storeProj: 3, storeChunk: 1024,
 			permN: 4, permH: 32, permW: 32, permC: 8,
 		}
 	}
@@ -211,6 +217,7 @@ func MicroMatrix(scale Scale, workers []int, budgetDivs []int) []MicroCase {
 				},
 			},
 		)
+		cases = append(cases, tilestoreMicroCase(d, w))
 		for _, div := range budgetDivs {
 			div := div
 			cases = append(cases, MicroCase{
@@ -269,6 +276,9 @@ func warmPlanner(rows, cols int, o inplace.Options) func() func() {
 // the envelope experiment: legacy median scalars plus the full ns/op and
 // GB/s sample series with their summaries.
 func MeasureMicro(c MicroCase, opts tune.MeasureOpts) benchfmt.Experiment {
+	if c.Cleanup != nil {
+		defer c.Cleanup()
+	}
 	body := c.Prep()
 	body() // warm: lazy cycle decompositions, arenas, pool spin-up
 	allocs, allocBytes := allocsPerOp(body, 2)

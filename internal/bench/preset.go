@@ -46,13 +46,13 @@ var presets = []Preset{
 		Name:  "medium",
 		Scale: SmallScale, Workers: []int{1, 2, 0}, BudgetDivs: []int{16, 4, 1},
 		Reps: 7, MinSample: 2 * time.Millisecond, MaxCase: 400 * time.Millisecond,
-		Experiments: []string{"locality", "permute"},
+		Experiments: []string{"locality", "permute", "tilestore"},
 	},
 	{
 		Name:  "large",
 		Scale: LargeScale, Workers: []int{1, 0}, BudgetDivs: []int{16, 4},
 		Reps: 5, MinSample: 5 * time.Millisecond, MaxCase: time.Second,
-		Experiments: []string{"locality", "gpusim", "permute"},
+		Experiments: []string{"locality", "gpusim", "permute", "tilestore"},
 	},
 }
 

@@ -41,7 +41,7 @@ var (
 	paperOrder = []string{
 		"fig1", "fig2", "fig3", "table1", "fig4", "fig5",
 		"fig6", "table2", "fig7", "fig8", "fig9", "locality", "gpusim",
-		"planreuse", "tuned", "ooc", "permute",
+		"planreuse", "tuned", "ooc", "permute", "tilestore",
 	}
 )
 

@@ -28,7 +28,7 @@ const (
 	journalMagic   = "XOOCJv1\n"
 	journalVersion = 1
 	headerSize     = 64
-	recHeaderSize  = 48
+	recHeaderSize  = FrameHeaderSize
 )
 
 // Record kinds. Stable on-disk values.
@@ -164,21 +164,21 @@ func openJournal(b Backend, g journalGeom, finalPass int, ctr *counters) (*journ
 		if _, err := io.ReadFull(io.NewSectionReader(b, j.end, recHeaderSize), rh[:]); err != nil {
 			break // torn or absent record: logical end of journal
 		}
-		if binary.LittleEndian.Uint64(rh[40:48]) != crc64.Checksum(rh[0:40], crcTab) {
-			break
+		fr, ok := ParseFrame(rh[:])
+		if !ok {
+			break // torn header
 		}
-		if binary.LittleEndian.Uint64(rh[32:40]) != j.runID {
+		if fr.Gen != j.runID {
 			break // stale generation
 		}
-		kind := rh[0]
-		pass := int(binary.LittleEndian.Uint32(rh[4:8]))
-		unit := int(binary.LittleEndian.Uint64(rh[8:16]))
-		plen := int64(binary.LittleEndian.Uint64(rh[16:24]))
-		psum := binary.LittleEndian.Uint64(rh[24:32])
+		kind := fr.Kind
+		pass := int(fr.Tag)
+		unit := int(fr.Unit)
+		plen := int64(fr.PayloadLen)
 		payloadOff := j.end + recHeaderSize
 		if plen > 0 {
-			sum, err := checksumRange(b, payloadOff, plen)
-			if err != nil || sum != psum {
+			sum, err := ChecksumRange(b, payloadOff, plen)
+			if err != nil || sum != fr.PayloadSum {
 				break // torn payload
 			}
 		}
@@ -210,28 +210,19 @@ func openJournal(b Backend, g journalGeom, finalPass int, ctr *counters) (*journ
 	return j, st, nil
 }
 
-// checksumRange computes the CRC64 of a byte range of the journal
-// backend without holding it resident.
-func checksumRange(b io.ReaderAt, off, n int64) (uint64, error) {
-	h := crc64.New(crcTab)
-	if _, err := io.Copy(h, io.NewSectionReader(b, off, n)); err != nil {
-		return 0, err
-	}
-	return h.Sum64(), nil
-}
-
 // append writes one record (header plus payload) at the cursor.
 func (j *journal) append(kind byte, pass, unit int, payload []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	var rh [recHeaderSize]byte
-	rh[0] = kind
-	binary.LittleEndian.PutUint32(rh[4:8], uint32(pass))
-	binary.LittleEndian.PutUint64(rh[8:16], uint64(unit))
-	binary.LittleEndian.PutUint64(rh[16:24], uint64(len(payload)))
-	binary.LittleEndian.PutUint64(rh[24:32], crc64.Checksum(payload, crcTab))
-	binary.LittleEndian.PutUint64(rh[32:40], j.runID)
-	binary.LittleEndian.PutUint64(rh[40:48], crc64.Checksum(rh[0:40], crcTab))
+	PutFrame(rh[:], Frame{
+		Kind:       kind,
+		Tag:        uint32(pass),
+		Unit:       uint64(unit),
+		PayloadLen: uint64(len(payload)),
+		PayloadSum: crc64.Checksum(payload, crcTab),
+		Gen:        j.runID,
+	})
 	//xpose:allow locksafe -- cursor reservation and record write are one atomic durability unit; concurrent appends must serialize through j.mu
 	if _, err := j.b.WriteAt(rh[:], j.end); err != nil {
 		return fmt.Errorf("ooc: journal append: %w", err)

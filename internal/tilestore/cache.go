@@ -1,0 +1,124 @@
+package tilestore
+
+import "sync"
+
+// The block cache between the storage backend and readers. A block is
+// one verified column-segment payload — immutable once loaded, because
+// a sealed dataset never changes — so the cache can hand the same
+// byte slice to any number of concurrent readers without copies or
+// reference counting: eviction merely drops the cache's reference, and
+// a reader still holding the slice keeps the bytes alive.
+//
+// Eviction is the clock (second-chance) policy: every hit sets the
+// block's referenced bit, and the hand sweeps the ring clearing bits
+// until it finds an unreferenced victim. Clock gives LRU-like scan
+// resistance at one bit per block and O(1) amortized eviction, the
+// usual trade storage engines make for their buffer pools.
+
+// blockKey identifies one column segment.
+type blockKey struct {
+	chunk int
+	col   int
+}
+
+// cacheBlock is one resident segment payload plus its clock bit.
+type cacheBlock struct {
+	key blockKey
+	buf []byte
+	ref bool
+}
+
+// blockCache is a capacity-bounded map of resident blocks. All state is
+// guarded by mu; the critical sections are pointer work only (no I/O,
+// no allocation on the hit path), so contention stays low even with
+// many concurrent readers.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	blocks   map[blockKey]*cacheBlock
+	ring     []*cacheBlock
+	hand     int
+
+	hits, misses, evictions *meter
+}
+
+func newBlockCache(capacity int64, m *meters) *blockCache {
+	return &blockCache{
+		capacity:  capacity,
+		blocks:    make(map[blockKey]*cacheBlock),
+		hits:      &m.cacheHits,
+		misses:    &m.cacheMisses,
+		evictions: &m.cacheEvictions,
+	}
+}
+
+// get returns the cached payload for key, marking it recently used.
+func (c *blockCache) get(key blockKey) ([]byte, bool) {
+	c.mu.Lock()
+	b, ok := c.blocks[key]
+	if ok {
+		b.ref = true
+		c.mu.Unlock()
+		c.hits.inc()
+		return b.buf, true
+	}
+	c.mu.Unlock()
+	c.misses.inc()
+	return nil, false
+}
+
+// put inserts a freshly loaded payload, evicting clock victims until it
+// fits, and returns the canonical resident slice: when a concurrent
+// reader raced the same miss and inserted first, the earlier block
+// wins and the loser's copy is dropped.
+func (c *blockCache) put(key blockKey, buf []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.blocks[key]; ok {
+		b.ref = true
+		return b.buf
+	}
+	need := int64(len(buf))
+	for c.used+need > c.capacity && len(c.ring) > 0 {
+		c.evictOne()
+	}
+	b := &cacheBlock{key: key, buf: buf, ref: true}
+	c.blocks[key] = b
+	c.ring = append(c.ring, b)
+	c.used += need
+	return buf
+}
+
+// evictOne advances the clock hand to the first unreferenced block and
+// drops it. Called with mu held and a non-empty ring.
+func (c *blockCache) evictOne() {
+	for {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		b := c.ring[c.hand]
+		if b.ref {
+			b.ref = false
+			c.hand++
+			continue
+		}
+		// Swap-remove keeps the ring dense; the hand stays put so the
+		// element swapped in is examined next sweep.
+		last := len(c.ring) - 1
+		c.ring[c.hand] = c.ring[last]
+		c.ring[last] = nil
+		c.ring = c.ring[:last]
+		delete(c.blocks, b.key)
+		c.used -= int64(len(b.buf))
+		c.evictions.inc()
+		return
+	}
+}
+
+// residentBytes reports the cache's current payload footprint.
+func (c *blockCache) residentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,96 @@
+package tilestore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The typed error taxonomy of the tile store. Every failure surfaced by
+// Create/Open/Ingest/Project/Scan/Verify wraps exactly one of these
+// sentinels, so callers branch with errors.Is instead of string
+// matching; the cold-path constructor helpers keep the fmt machinery
+// out of the read loops (the same pattern as internal/ooc's errors.go).
+
+// ErrBadSchema reports an invalid dataset schema: non-positive
+// dimensions, products that overflow, a decoded header whose fields
+// fail validation or disagree with the meta file, or a magic/version/
+// checksum mismatch in the dataset header itself.
+var ErrBadSchema = errors.New("tilestore: invalid dataset schema")
+
+// ErrCorruptChunk reports a column segment whose frame header or
+// payload bytes fail checksum validation, carry the wrong identity
+// (chunk, column or generation), or fall outside the data file: the
+// storage returned different bytes than were durably written.
+var ErrCorruptChunk = errors.New("tilestore: corrupt chunk segment")
+
+// ErrColumnRange reports a projection column outside [0, fields) or a
+// row range outside [0, rows) / with lo >= hi.
+var ErrColumnRange = errors.New("tilestore: column or row range out of bounds")
+
+// ErrCacheBudget reports a block-cache capacity below one column
+// segment: no projection could ever be served, so the configuration is
+// rejected at open time instead of failing every read.
+var ErrCacheBudget = errors.New("tilestore: cache capacity below one column segment")
+
+// ErrNotSealed reports an Open of a dataset whose meta state machine
+// never reached sealed: an ingest was killed (or abandoned) before the
+// atomic commit, so the dataset is treated as absent.
+var ErrNotSealed = errors.New("tilestore: dataset was not sealed (ingest incomplete)")
+
+// ErrLength reports a caller buffer whose length does not match the
+// requested projection or scan geometry.
+var ErrLength = errors.New("tilestore: buffer length does not match request")
+
+// ErrSealed reports an Ingest into a dataset that is already sealed,
+// or a read from one that is not.
+var ErrSealed = errors.New("tilestore: operation does not match dataset state")
+
+// ErrEngineElem is returned by an injected Engine transpose to decline
+// an element width it has no typed kernel for; the store falls back to
+// its built-in out-of-core path, which permutes opaque records of any
+// width.
+var ErrEngineElem = errors.New("tilestore: engine does not support element width")
+
+// --- Cold-path error constructors ---
+
+func schemaErr(reason string, s Schema) error {
+	return fmt.Errorf("%w: %s (rows=%d fields=%d elem=%d chunk_rows=%d)",
+		ErrBadSchema, reason, s.Rows, s.Fields, s.ElemSize, s.ChunkRows)
+}
+
+func headerErr(reason string) error {
+	return fmt.Errorf("%w: %s", ErrBadSchema, reason)
+}
+
+func corruptErr(chunk, col int, reason string) error {
+	return fmt.Errorf("%w: chunk %d column %d: %s", ErrCorruptChunk, chunk, col, reason)
+}
+
+func corruptSumErr(chunk, col int, want, got uint64) error {
+	return fmt.Errorf("%w: chunk %d column %d payload checksum %016x, frame recorded %016x",
+		ErrCorruptChunk, chunk, col, got, want)
+}
+
+func noColumnsErr() error {
+	return fmt.Errorf("%w: empty column list", ErrColumnRange)
+}
+
+func colRangeErr(col, fields int) error {
+	return fmt.Errorf("%w: column %d of %d", ErrColumnRange, col, fields)
+}
+
+func rowRangeErr(lo, hi, rows int) error {
+	return fmt.Errorf("%w: rows [%d, %d) of %d", ErrColumnRange, lo, hi, rows)
+}
+
+func cacheBudgetErr(capacity, segBytes int64) error {
+	return fmt.Errorf("%w: capacity %d bytes, segment %d bytes", ErrCacheBudget, capacity, segBytes)
+}
+
+func lengthErr(got, want int) error {
+	return fmt.Errorf("%w: len %d, want %d", ErrLength, got, want)
+}
+
+func stateErr(op string, state int) error {
+	return fmt.Errorf("%w: %s on dataset in state %d", ErrSealed, op, state)
+}

@@ -1,0 +1,92 @@
+package tilestore
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inplace/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// TestGoldenFormat pins the v1 on-disk format: ingesting a fixed input
+// must reproduce the committed data.tile and meta.json byte for byte.
+// Any layout, checksum, generation or header change breaks this test —
+// which is the point: the format is a compatibility promise, and
+// changing it requires bumping formatVersion and regenerating the
+// fixture deliberately with -update.
+func TestGoldenFormat(t *testing.T) {
+	s := Schema{Rows: 50, Fields: 5, ElemSize: 4, ChunkRows: 16}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+
+	dir := filepath.Join(t.TempDir(), "golden")
+	d, err := Create(dir, s, Options{Registry: stats.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := d.Ingest(bytes.NewReader(aos)); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	d.Close()
+
+	for _, name := range []string{dataFileName, metaFileName} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", "golden_v1_"+name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s diverged from golden fixture: the on-disk format changed without a version bump", name)
+		}
+	}
+
+	// And the committed fixture itself must open and verify: golden
+	// bytes written by an older build stay readable.
+	if *update {
+		return
+	}
+	fixtureDir := filepath.Join(t.TempDir(), "fixture")
+	if err := os.MkdirAll(fixtureDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{dataFileName, metaFileName} {
+		raw, err := os.ReadFile(filepath.Join("testdata", "golden_v1_"+name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(fixtureDir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := Open(fixtureDir, Options{Registry: stats.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open of golden fixture: %v", err)
+	}
+	defer rd.Close()
+	if err := rd.Verify(); err != nil {
+		t.Fatalf("Verify of golden fixture: %v", err)
+	}
+	got := make([]byte, len(aos))
+	if err := rd.ScanRows(got, 0, s.Rows); err != nil {
+		t.Fatalf("ScanRows of golden fixture: %v", err)
+	}
+	if !bytes.Equal(got, aos) {
+		t.Fatal("golden fixture scans back different rows")
+	}
+}

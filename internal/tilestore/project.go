@@ -1,0 +1,117 @@
+package tilestore
+
+// The read paths. Projection is the operation the columnar layout
+// exists for: because ingest made every column contiguous on disk, a
+// projection of k of n columns touches only the k segments it needs —
+// reading ~k/n of the bytes a full scan pays, the storage analogue of
+// the coalesced-access argument behind the in-memory kernels. Scans go
+// the other way: they gather all columns of a chunk and run the inverse
+// skinny transpose (SoA→AoS) to hand rows back in the layout callers
+// write.
+//
+// Project on cache-resident chunks is allocation-free: the hot loop is
+// map lookups, atomic counter bumps and fixed-width copies, with every
+// error path behind a cold constructor.
+//
+// Index products in the chunk loops are proven at open time: geometry
+// construction CheckedMul-verifies rows×rowBytes (= dataBytes) and
+// chunkRows×rowBytes, and every product below is over factors bounded
+// by those (row counts ≤ rows, byte widths ≤ rowBytes).
+
+import "inplace/internal/mathutil"
+
+// Project gathers columns cols of rows [rowLo, rowHi) into dst as
+// row-major records of len(cols) fields — the projected AoS image.
+// dst must hold exactly (rowHi-rowLo)*len(cols)*ElemSize bytes. Only
+// the segments covering the requested columns and chunks are read;
+// each is checksum-verified once on load and served from the block
+// cache thereafter. Safe for concurrent use on a sealed dataset.
+func (d *Dataset) Project(dst []byte, cols []int, rowLo, rowHi int) error {
+	if d.state != stateSealed {
+		return stateErr("project", d.state)
+	}
+	if len(cols) == 0 {
+		return noColumnsErr()
+	}
+	for _, col := range cols {
+		if col < 0 || col >= d.g.s.Fields {
+			return colRangeErr(col, d.g.s.Fields)
+		}
+	}
+	if rowLo < 0 || rowHi > d.g.s.Rows || rowLo >= rowHi {
+		return rowRangeErr(rowLo, rowHi, d.g.s.Rows)
+	}
+	e := d.g.s.ElemSize
+	outRow := len(cols) * e
+	want, ok := mathutil.CheckedMul(rowHi-rowLo, outRow)
+	if !ok || len(dst) != want {
+		return lengthErr(len(dst), want)
+	}
+	d.ctr.projections.inc()
+
+	for c := rowLo / d.g.s.ChunkRows; c < d.g.chunks; c++ {
+		base := c * d.g.s.ChunkRows
+		if base >= rowHi {
+			break
+		}
+		llo := max(rowLo, base) - base
+		lhi := min(rowHi, base+d.g.rowsIn(c)) - base
+		for ci, col := range cols {
+			seg, err := d.block(c, col)
+			if err != nil {
+				return err
+			}
+			// Strided scatter: column values are contiguous in seg,
+			// interleaved every outRow bytes in dst.
+			do := (base+llo-rowLo)*outRow + ci*e
+			for so := llo * e; so < lhi*e; so += e {
+				copy(dst[do:do+e], seg[so:so+e])
+				do += outRow
+			}
+		}
+	}
+	return nil
+}
+
+// ScanRows reads full records [rowLo, rowHi) into dst as row-major AoS
+// — the inverse of ingest. dst must hold exactly
+// (rowHi-rowLo)*Fields*ElemSize bytes. Per chunk, every column slice is
+// gathered contiguously (a bulk copy per segment, not a per-element
+// walk) and the chunk's region of dst is then converted SoA→AoS in
+// place through the same engine that built the segments.
+func (d *Dataset) ScanRows(dst []byte, rowLo, rowHi int) error {
+	if d.state != stateSealed {
+		return stateErr("scan", d.state)
+	}
+	if rowLo < 0 || rowHi > d.g.s.Rows || rowLo >= rowHi {
+		return rowRangeErr(rowLo, rowHi, d.g.s.Rows)
+	}
+	e := d.g.s.ElemSize
+	want, ok := mathutil.CheckedMul(rowHi-rowLo, d.g.rowBytes)
+	if !ok || len(dst) != want {
+		return lengthErr(len(dst), want)
+	}
+	d.ctr.scans.inc()
+
+	for c := rowLo / d.g.s.ChunkRows; c < d.g.chunks; c++ {
+		base := c * d.g.s.ChunkRows
+		if base >= rowHi {
+			break
+		}
+		llo := max(rowLo, base) - base
+		lhi := min(rowHi, base+d.g.rowsIn(c)) - base
+		n := lhi - llo
+		region := dst[(base+llo-rowLo)*d.g.rowBytes : (base+lhi-rowLo)*d.g.rowBytes]
+		for f := 0; f < d.g.s.Fields; f++ {
+			seg, err := d.block(c, f)
+			if err != nil {
+				return err
+			}
+			copy(region[f*n*e:(f+1)*n*e], seg[llo*e:lhi*e])
+		}
+		if err := d.soaToAOS(region, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

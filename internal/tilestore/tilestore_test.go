@@ -1,0 +1,435 @@
+package tilestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"inplace/internal/stats"
+)
+
+// makeAoS builds a deterministic row-major AoS image: every byte is a
+// mix of its element index and position, so any misplaced element is
+// visible and runs are reproducible.
+func makeAoS(rows, fields, elem int) []byte {
+	buf := make([]byte, rows*fields*elem)
+	for r := 0; r < rows; r++ {
+		for f := 0; f < fields; f++ {
+			for b := 0; b < elem; b++ {
+				i := (r*fields+f)*elem + b
+				buf[i] = byte(uint32(r*2654435761+f*40503+b*97) >> 3)
+				_ = i
+			}
+		}
+	}
+	return buf
+}
+
+// oracleProject computes the expected projection straight from the AoS
+// image.
+func oracleProject(aos []byte, fields, elem int, cols []int, lo, hi int) []byte {
+	out := make([]byte, 0, (hi-lo)*len(cols)*elem)
+	for r := lo; r < hi; r++ {
+		for _, c := range cols {
+			off := (r*fields + c) * elem
+			out = append(out, aos[off:off+elem]...)
+		}
+	}
+	return out
+}
+
+// buildDataset creates, ingests and reopens a dataset from aos.
+func buildDataset(t *testing.T, s Schema, aos []byte, opts Options) (*Dataset, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	d, err := Create(dir, s, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := d.Ingest(bytes.NewReader(aos)); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rd, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	return rd, dir
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, s := range []Schema{
+		{Rows: 1, Fields: 1, ElemSize: 1, ChunkRows: 1},
+		{Rows: 7, Fields: 3, ElemSize: 2, ChunkRows: 4},     // uneven last chunk
+		{Rows: 64, Fields: 5, ElemSize: 3, ChunkRows: 16},   // odd elem width
+		{Rows: 100, Fields: 16, ElemSize: 4, ChunkRows: 32}, // selftest shape
+		{Rows: 33, Fields: 2, ElemSize: 8, ChunkRows: 50},   // ChunkRows clamped
+		{Rows: 24, Fields: 7, ElemSize: 16, ChunkRows: 8},
+	} {
+		t.Run(fmt.Sprintf("r%df%de%dc%d", s.Rows, s.Fields, s.ElemSize, s.ChunkRows), func(t *testing.T) {
+			aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+			d, _ := buildDataset(t, s, aos, Options{Registry: stats.NewRegistry()})
+
+			// Full scan reproduces the ingested rows bit-exactly.
+			got := make([]byte, len(aos))
+			if err := d.ScanRows(got, 0, s.Rows); err != nil {
+				t.Fatalf("ScanRows: %v", err)
+			}
+			if !bytes.Equal(got, aos) {
+				t.Fatal("full scan does not match ingested AoS image")
+			}
+
+			// Projections of assorted column sets and row windows match
+			// the oracle.
+			for _, tc := range []struct {
+				cols   []int
+				lo, hi int
+			}{
+				{[]int{0}, 0, s.Rows},
+				{[]int{s.Fields - 1}, 0, 1},
+				{[]int{0, s.Fields - 1}, s.Rows / 3, s.Rows},
+				{[]int{s.Fields / 2}, s.Rows / 2, s.Rows/2 + 1},
+			} {
+				want := oracleProject(aos, s.Fields, s.ElemSize, tc.cols, tc.lo, tc.hi)
+				got := make([]byte, len(want))
+				if err := d.Project(got, tc.cols, tc.lo, tc.hi); err != nil {
+					t.Fatalf("Project(%v, %d, %d): %v", tc.cols, tc.lo, tc.hi, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("Project(%v, %d, %d) mismatch", tc.cols, tc.lo, tc.hi)
+				}
+			}
+
+			if err := d.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestSpillPath forces every chunk through the out-of-core spill
+// pipeline by shrinking the memory budget below one chunk, and checks
+// the result is bit-identical to the resident path.
+func TestSpillPath(t *testing.T) {
+	s := Schema{Rows: 96, Fields: 6, ElemSize: 4, ChunkRows: 32}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+
+	reg := stats.NewRegistry()
+	resident, _ := buildDataset(t, s, aos, Options{Registry: stats.NewRegistry()})
+	spilled, dir := buildDataset(t, s, aos, Options{
+		MemBudget: 64, // far below one chunk: every chunk spills
+		Registry:  reg,
+	})
+
+	// The ingest handle is closed inside buildDataset; its spill count
+	// survives on the shared registry (label derives from the dir base).
+	if got := reg.Counter("store_ds_spills").Load(); got == 0 {
+		t.Fatal("expected spills with a 64-byte budget, counter is zero")
+	}
+	if _, err := os.Stat(filepath.Join(dir, spillFileName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("spill scratch file survived ingest: %v", err)
+	}
+
+	a := make([]byte, len(aos))
+	b := make([]byte, len(aos))
+	if err := resident.ScanRows(a, 0, s.Rows); err != nil {
+		t.Fatalf("resident scan: %v", err)
+	}
+	if err := spilled.ScanRows(b, 0, s.Rows); err != nil {
+		t.Fatalf("spilled scan: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("spilled ingest produced different rows than resident ingest")
+	}
+	if !bytes.Equal(a, aos) {
+		t.Fatal("scan does not match ingested image")
+	}
+}
+
+// TestEngineFallback checks both engine contracts: a typed engine that
+// accepts the width is used, and one that declines with ErrEngineElem
+// falls back to the built-in path with identical results.
+func TestEngineFallback(t *testing.T) {
+	s := Schema{Rows: 40, Fields: 4, ElemSize: 4, ChunkRows: 16}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+
+	decline := Engine{
+		AOSToSOA: func([]byte, int, int, int) error { return ErrEngineElem },
+		SOAToAOS: func([]byte, int, int, int) error { return ErrEngineElem },
+	}
+	used := 0
+	naive := Engine{
+		AOSToSOA: func(data []byte, count, fields, elem int) error {
+			used++
+			out := make([]byte, len(data))
+			for r := 0; r < count; r++ {
+				for f := 0; f < fields; f++ {
+					copy(out[(f*count+r)*elem:], data[(r*fields+f)*elem:(r*fields+f+1)*elem])
+				}
+			}
+			copy(data, out)
+			return nil
+		},
+	}
+
+	base, _ := buildDataset(t, s, aos, Options{Registry: stats.NewRegistry()})
+	declined, _ := buildDataset(t, s, aos, Options{Engine: decline, Registry: stats.NewRegistry()})
+	typed, _ := buildDataset(t, s, aos, Options{Engine: naive, Registry: stats.NewRegistry()})
+	if used == 0 {
+		t.Fatal("typed engine was never invoked")
+	}
+
+	want := make([]byte, len(aos))
+	if err := base.ScanRows(want, 0, s.Rows); err != nil {
+		t.Fatalf("base scan: %v", err)
+	}
+	for name, d := range map[string]*Dataset{"declined": declined, "typed": typed} {
+		got := make([]byte, len(aos))
+		if err := d.ScanRows(got, 0, s.Rows); err != nil {
+			t.Fatalf("%s scan: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s engine path diverged from builtin", name)
+		}
+	}
+}
+
+// TestEngineErrorPropagates checks a non-sentinel engine failure aborts
+// the ingest instead of silently falling back.
+func TestEngineErrorPropagates(t *testing.T) {
+	boom := errors.New("kernel fault")
+	s := Schema{Rows: 8, Fields: 2, ElemSize: 4, ChunkRows: 8}
+	dir := filepath.Join(t.TempDir(), "ds")
+	d, err := Create(dir, s, Options{
+		Engine:   Engine{AOSToSOA: func([]byte, int, int, int) error { return boom }},
+		Registry: stats.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer d.Close()
+	err = d.Ingest(bytes.NewReader(makeAoS(s.Rows, s.Fields, s.ElemSize)))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Ingest error = %v, want wrapped engine fault", err)
+	}
+}
+
+// TestMetaStateMachine exercises the absent-or-fully-valid property:
+// a dataset whose ingest never sealed is refused by Open with
+// ErrNotSealed, and OpenIngest can complete it later.
+func TestMetaStateMachine(t *testing.T) {
+	s := Schema{Rows: 20, Fields: 3, ElemSize: 4, ChunkRows: 8}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+	dir := filepath.Join(t.TempDir(), "ds")
+	opts := Options{Registry: stats.NewRegistry()}
+
+	d, err := Create(dir, s, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// Abandon before ingest completes — the simulated kill.
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Open(dir, opts); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("Open of unsealed dataset = %v, want ErrNotSealed", err)
+	}
+
+	// A later ingest attempt completes the dataset.
+	rd, err := OpenIngest(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenIngest: %v", err)
+	}
+	if err := rd.Ingest(bytes.NewReader(aos)); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := rd.Verify(); err != nil {
+		t.Fatalf("Verify after reingest: %v", err)
+	}
+	rd.Close()
+
+	rd2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open after seal: %v", err)
+	}
+	defer rd2.Close()
+	if _, err := OpenIngest(dir, opts); !errors.Is(err, ErrSealed) {
+		t.Fatalf("OpenIngest of sealed dataset = %v, want ErrSealed", err)
+	}
+
+	// A truncated reader must leave the dataset unsealed.
+	dir2 := filepath.Join(t.TempDir(), "short")
+	d2, err := Create(dir2, s, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer d2.Close()
+	if err := d2.Ingest(bytes.NewReader(aos[:len(aos)/2])); err == nil {
+		t.Fatal("Ingest of truncated input succeeded")
+	}
+	if _, err := Open(dir2, opts); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("Open after failed ingest = %v, want ErrNotSealed", err)
+	}
+}
+
+// TestCacheBehavior checks hit/miss accounting, the capacity bound, and
+// eviction under pressure.
+func TestCacheBehavior(t *testing.T) {
+	s := Schema{Rows: 64, Fields: 8, ElemSize: 4, ChunkRows: 16} // 4 chunks × 8 cols, 64 B segments
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+
+	t.Run("warm scans hit", func(t *testing.T) {
+		d, _ := buildDataset(t, s, aos, Options{Registry: stats.NewRegistry()})
+		buf := make([]byte, len(aos))
+		const scans = 16
+		for i := 0; i < scans; i++ {
+			if err := d.ScanRows(buf, 0, s.Rows); err != nil {
+				t.Fatalf("scan %d: %v", i, err)
+			}
+		}
+		st := d.Stats()
+		blocks := uint64(4 * 8)
+		if st.CacheMisses != blocks {
+			t.Fatalf("misses = %d, want %d (one cold pass)", st.CacheMisses, blocks)
+		}
+		if st.CacheHits != blocks*(scans-1) {
+			t.Fatalf("hits = %d, want %d", st.CacheHits, blocks*(scans-1))
+		}
+		rate := float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		if rate <= 0.9 {
+			t.Fatalf("hit rate %.3f, want > 0.9", rate)
+		}
+	})
+
+	t.Run("tight capacity evicts and stays bounded", func(t *testing.T) {
+		// Room for exactly 4 segments out of 32.
+		d, _ := buildDataset(t, s, aos, Options{CacheBytes: 4 * 64, Registry: stats.NewRegistry()})
+		buf := make([]byte, len(aos))
+		for i := 0; i < 3; i++ {
+			if err := d.ScanRows(buf, 0, s.Rows); err != nil {
+				t.Fatalf("scan %d: %v", i, err)
+			}
+		}
+		if got := d.CacheResidentBytes(); got > 4*64 {
+			t.Fatalf("resident %d bytes exceeds %d capacity", got, 4*64)
+		}
+		if st := d.Stats(); st.CacheEvictions == 0 {
+			t.Fatal("no evictions under 8x cache pressure")
+		}
+	})
+
+	t.Run("capacity below one segment rejected", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "ds")
+		_, err := Create(dir, s, Options{CacheBytes: 63, Registry: stats.NewRegistry()})
+		if !errors.Is(err, ErrCacheBudget) {
+			t.Fatalf("Create with 63-byte cache = %v, want ErrCacheBudget", err)
+		}
+	})
+}
+
+// TestConcurrentReaders hammers one sealed dataset from many goroutines
+// mixing projections and scans; run under -race this is the
+// concurrent-reader safety check for the block cache.
+func TestConcurrentReaders(t *testing.T) {
+	s := Schema{Rows: 128, Fields: 6, ElemSize: 8, ChunkRows: 32}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+	// Tight cache so readers race insertions against evictions too.
+	d, _ := buildDataset(t, s, aos, Options{CacheBytes: 3 * 32 * 8, Registry: stats.NewRegistry()})
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cols := []int{g % s.Fields, (g + 3) % s.Fields}
+			proj := make([]byte, s.Rows*len(cols)*s.ElemSize)
+			rows := make([]byte, s.Rows*s.Fields*s.ElemSize)
+			want := oracleProject(aos, s.Fields, s.ElemSize, cols, 0, s.Rows)
+			for i := 0; i < 50; i++ {
+				if err := d.Project(proj, cols, 0, s.Rows); err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(proj, want) {
+					errCh <- errors.New("concurrent projection mismatch")
+					return
+				}
+				if g == 0 {
+					if err := d.ScanRows(rows, 0, s.Rows); err != nil {
+						errCh <- err
+						return
+					}
+					if !bytes.Equal(rows, aos) {
+						errCh <- errors.New("concurrent scan mismatch")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProjectionReadsFewerBytes asserts the core columnar property on
+// the backend byte counters: a cold 3-of-16-column projection reads
+// strictly fewer bytes than a cold full scan of the same rows.
+func TestProjectionReadsFewerBytes(t *testing.T) {
+	s := Schema{Rows: 256, Fields: 16, ElemSize: 4, ChunkRows: 64}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+
+	scanned, _ := buildDataset(t, s, aos, Options{Registry: stats.NewRegistry()})
+	full := make([]byte, len(aos))
+	if err := scanned.ScanRows(full, 0, s.Rows); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	scanBytes := scanned.Stats().BytesRead
+
+	projected, _ := buildDataset(t, s, aos, Options{Registry: stats.NewRegistry()})
+	cols := []int{1, 7, 14}
+	proj := make([]byte, s.Rows*len(cols)*s.ElemSize)
+	if err := projected.Project(proj, cols, 0, s.Rows); err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	projBytes := projected.Stats().BytesRead
+
+	if projBytes >= scanBytes {
+		t.Fatalf("projection read %d bytes, full scan %d: columnar layout is not paying off", projBytes, scanBytes)
+	}
+	if !bytes.Equal(proj, oracleProject(aos, s.Fields, s.ElemSize, cols, 0, s.Rows)) {
+		t.Fatal("projection mismatch")
+	}
+}
+
+// TestRegistryCounters checks the double-booked counters surface on the
+// shared registry under the store_<label>_ namespace.
+func TestRegistryCounters(t *testing.T) {
+	reg := stats.NewRegistry()
+	s := Schema{Rows: 16, Fields: 2, ElemSize: 4, ChunkRows: 8}
+	aos := makeAoS(s.Rows, s.Fields, s.ElemSize)
+	d, _ := buildDataset(t, s, aos, Options{Label: "My-DS", Registry: reg})
+	buf := make([]byte, len(aos))
+	if err := d.ScanRows(buf, 0, s.Rows); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if got := reg.Counter("store_my_ds_scans").Load(); got != 1 {
+		t.Fatalf("registry scans counter = %d, want 1", got)
+	}
+	if got := reg.Counter("store_my_ds_segments_written").Load(); got != uint64(d.Chunks()*s.Fields) {
+		t.Fatalf("registry segments counter = %d, want %d", got, d.Chunks()*s.Fields)
+	}
+	if d.Stats().Scans != 1 {
+		t.Fatalf("handle scans counter = %d, want 1", d.Stats().Scans)
+	}
+}

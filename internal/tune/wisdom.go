@@ -93,17 +93,19 @@ func (d Decision) validate() error {
 // that share one across goroutines (the package-level wisdom store in
 // the public API) serialize access themselves.
 type Table struct {
-	m    map[Key]Decision
-	ooc  map[OOCKey]OOCDecision
-	perm map[PermKey]PermDecision
+	m     map[Key]Decision
+	ooc   map[OOCKey]OOCDecision
+	perm  map[PermKey]PermDecision
+	store map[StoreKey]StoreDecision
 }
 
 // NewTable returns an empty wisdom table.
 func NewTable() *Table {
 	return &Table{
-		m:    make(map[Key]Decision),
-		ooc:  make(map[OOCKey]OOCDecision),
-		perm: make(map[PermKey]PermDecision),
+		m:     make(map[Key]Decision),
+		ooc:   make(map[OOCKey]OOCDecision),
+		perm:  make(map[PermKey]PermDecision),
+		store: make(map[StoreKey]StoreDecision),
 	}
 }
 
@@ -154,6 +156,9 @@ func (t *Table) Merge(other *Table) {
 	for k, d := range other.perm {
 		t.perm[k] = d
 	}
+	for k, d := range other.store {
+		t.store[k] = d
+	}
 }
 
 // Clone returns a deep copy of t.
@@ -165,7 +170,8 @@ func (t *Table) Clone() *Table {
 
 // Equal reports whether two tables hold identical entries.
 func (t *Table) Equal(other *Table) bool {
-	if len(t.m) != len(other.m) || len(t.ooc) != len(other.ooc) || len(t.perm) != len(other.perm) {
+	if len(t.m) != len(other.m) || len(t.ooc) != len(other.ooc) ||
+		len(t.perm) != len(other.perm) || len(t.store) != len(other.store) {
 		return false
 	}
 	for k, d := range t.m {
@@ -183,15 +189,21 @@ func (t *Table) Equal(other *Table) bool {
 			return false
 		}
 	}
+	for k, d := range t.store {
+		if od, ok := other.store[k]; !ok || od != d {
+			return false
+		}
+	}
 	return true
 }
 
 // wisdomFile is the on-disk envelope.
 type wisdomFile struct {
-	Version int             `json:"version"`
-	Entries []wisdomEntry   `json:"entries"`
-	OOC     []oocFileEntry  `json:"ooc,omitempty"`
-	Perm    []permFileEntry `json:"perm,omitempty"`
+	Version int              `json:"version"`
+	Entries []wisdomEntry    `json:"entries"`
+	OOC     []oocFileEntry   `json:"ooc,omitempty"`
+	Perm    []permFileEntry  `json:"perm,omitempty"`
+	Store   []storeFileEntry `json:"store,omitempty"`
 }
 
 type wisdomEntry struct {
@@ -209,6 +221,11 @@ type permFileEntry struct {
 	PermDecision
 }
 
+type storeFileEntry struct {
+	StoreKey
+	StoreDecision
+}
+
 // Save writes the table to w as versioned JSON with entries in
 // deterministic key order, so identical tables serialize identically
 // (the round-trip property the fuzz harness asserts).
@@ -222,6 +239,9 @@ func (t *Table) Save(w io.Writer) error {
 	}
 	for _, k := range t.PermKeys() {
 		f.Perm = append(f.Perm, permFileEntry{PermKey: k, PermDecision: t.perm[k]})
+	}
+	for _, k := range t.StoreKeys() {
+		f.Store = append(f.Store, storeFileEntry{StoreKey: k, StoreDecision: t.store[k]})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -289,6 +309,15 @@ func Load(r io.Reader) (*Table, error) {
 			return nil, err
 		}
 		t.StorePerm(e.PermKey, e.PermDecision)
+	}
+	for _, e := range f.Store {
+		if err := e.StoreKey.validate(); err != nil {
+			return nil, err
+		}
+		if err := e.StoreDecision.validate(); err != nil {
+			return nil, err
+		}
+		t.StoreStore(e.StoreKey, e.StoreDecision)
 	}
 	return t, nil
 }

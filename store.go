@@ -1,0 +1,422 @@
+package inplace
+
+// The public face of the columnar tile store (internal/tilestore): a
+// chunked on-disk dataset whose ingest runs the paper's skinny AoS→SoA
+// specialization per chunk through this package's planner cache and
+// wisdom tables, and whose reads reassemble rows with the inverse
+// conversion. The wrapper contributes exactly two things the internal
+// package cannot have (it would be an import cycle): the typed
+// transpose engine, and wisdom-backed chunk sizing via TuneStore.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+	"unsafe"
+
+	"inplace/internal/mathutil"
+	"inplace/internal/parallel"
+	"inplace/internal/tilestore"
+	"inplace/internal/tune"
+)
+
+// DatasetStats is a frozen snapshot of one dataset handle's counters.
+type DatasetStats = tilestore.Stats
+
+// Tile-store sentinels, re-exported so callers branch on this package
+// alone.
+var (
+	// ErrCorruptChunk reports a column segment whose checksums or frame
+	// identity fail validation.
+	ErrCorruptChunk = tilestore.ErrCorruptChunk
+	// ErrBadSchema reports an invalid dataset schema or a damaged
+	// dataset header or meta file.
+	ErrBadSchema = tilestore.ErrBadSchema
+	// ErrColumnRange reports a projection column or row window outside
+	// the dataset.
+	ErrColumnRange = tilestore.ErrColumnRange
+	// ErrCacheBudget reports a block-cache capacity below one column
+	// segment.
+	ErrCacheBudget = tilestore.ErrCacheBudget
+	// ErrNotSealed reports an Open of a dataset whose ingest never
+	// completed; such a dataset is absent as far as readers go.
+	ErrNotSealed = tilestore.ErrNotSealed
+)
+
+// DatasetOptions parameterizes CreateDataset/OpenDataset.
+type DatasetOptions struct {
+	// ChunkRows is the chunk height in records; 0 consults the wisdom
+	// table (per Tuning) and falls back to a cache-sized heuristic.
+	ChunkRows int
+
+	// CacheBytes is the block-cache capacity; 0 picks the store
+	// default (32 MiB, raised to one segment when segments are larger).
+	CacheBytes int64
+
+	// MemBudget is the ingest scratch ceiling; chunks above it spill
+	// through the out-of-core pipeline. 0 picks the store default.
+	MemBudget int64
+
+	// Workers is the transform parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	// Label namespaces the dataset's counters on the shared stats
+	// registry (store_<label>_*); "" derives it from the directory.
+	Label string
+
+	// Tuning controls consultation of the process wisdom table for a
+	// zero ChunkRows, exactly as Options.Tuning does for the planner.
+	Tuning Tuning
+}
+
+// Dataset is a handle to a columnar dataset: ingesting after
+// CreateDataset, reading after OpenDataset. Read handles are safe for
+// concurrent use.
+type Dataset struct {
+	ds *tilestore.Dataset
+}
+
+// CreateDataset initializes a dataset of rows records × fields fields of
+// elemSize-byte elements under dir and returns an ingest handle. The
+// dataset stays invisible to OpenDataset until Ingest completes — a
+// kill mid-ingest leaves it absent, never torn.
+func CreateDataset(dir string, rows, fields, elemSize int, opts ...DatasetOptions) (*Dataset, error) {
+	var o DatasetOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	chunkRows, err := resolveChunkRows(rows, fields, elemSize, o)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := tilestore.Create(dir, tilestore.Schema{
+		Rows: rows, Fields: fields, ElemSize: elemSize, ChunkRows: chunkRows,
+	}, storeOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// OpenDataset opens a sealed dataset for reading. The schema (chunk
+// height included) comes from the dataset itself; only cache, budget and
+// metering options apply.
+func OpenDataset(dir string, opts ...DatasetOptions) (*Dataset, error) {
+	var o DatasetOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	ds, err := tilestore.Open(dir, storeOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// Ingest consumes exactly rows*fields*elemSize bytes of row-major AoS
+// records from r, lays every column out contiguously on disk, and seals
+// the dataset.
+func (d *Dataset) Ingest(r io.Reader) error { return d.ds.Ingest(r) }
+
+// Scan reads full records [rowLo, rowHi) into dst as row-major AoS
+// bytes; dst must hold exactly (rowHi-rowLo)*fields*elemSize bytes.
+func (d *Dataset) Scan(dst []byte, rowLo, rowHi int) error {
+	return pubStoreErr(d.ds.ScanRows(dst, rowLo, rowHi))
+}
+
+// Project gathers the chosen columns of rows [rowLo, rowHi) into dst as
+// row-major records of len(cols) fields, touching only the column
+// segments it needs; dst must hold (rowHi-rowLo)*len(cols)*elemSize
+// bytes. On cache-resident chunks the call is allocation-free.
+func (d *Dataset) Project(dst []byte, cols []int, rowLo, rowHi int) error {
+	return pubStoreErr(d.ds.Project(dst, cols, rowLo, rowHi))
+}
+
+// pubStoreErr maps the store's buffer-length sentinel onto this
+// package's ErrLength (the two packages each own one; callers branch on
+// the public name) while keeping the internal chain intact. Nil and
+// every other error pass through untouched, so the warm success path
+// costs nothing.
+func pubStoreErr(err error) error {
+	if err != nil && errors.Is(err, tilestore.ErrLength) {
+		return fmt.Errorf("%w: %w", ErrLength, err)
+	}
+	return err
+}
+
+// Verify re-reads every segment and checks all checksums.
+func (d *Dataset) Verify() error { return d.ds.Verify() }
+
+// Rows, Fields and ElemSize return the dataset's schema; ChunkRows its
+// (possibly tuned) chunk height.
+func (d *Dataset) Rows() int      { return d.ds.Schema().Rows }
+func (d *Dataset) Fields() int    { return d.ds.Schema().Fields }
+func (d *Dataset) ElemSize() int  { return d.ds.Schema().ElemSize }
+func (d *Dataset) ChunkRows() int { return d.ds.Schema().ChunkRows }
+
+// Stats snapshots the handle's cache and I/O counters.
+func (d *Dataset) Stats() DatasetStats { return d.ds.Stats() }
+
+// Close releases the handle.
+func (d *Dataset) Close() error { return d.ds.Close() }
+
+// storeOptions maps public options onto the internal store, wiring the
+// typed engine.
+func storeOptions(o DatasetOptions) tilestore.Options {
+	return tilestore.Options{
+		CacheBytes: o.CacheBytes,
+		MemBudget:  o.MemBudget,
+		Workers:    o.Workers,
+		Label:      o.Label,
+		Engine:     datasetEngine(o.Workers),
+	}
+}
+
+// datasetEngine is the typed transpose the store runs per chunk: the
+// planner-cache-backed AOSToSOA/SOAToAOS of this package over an
+// aligned reinterpretation of the chunk bytes. Widths without a native
+// type (or misaligned buffers, which the store never produces) are
+// declined with ErrEngineElem and the store falls back to its built-in
+// opaque-record path.
+func datasetEngine(workers int) tilestore.Engine {
+	opt := Options{Workers: workers}
+	return tilestore.Engine{
+		AOSToSOA: func(data []byte, count, fields, elem int) error {
+			return viewConvert(data, count, fields, elem, opt, false)
+		},
+		SOAToAOS: func(data []byte, count, fields, elem int) error {
+			return viewConvert(data, count, fields, elem, opt, true)
+		},
+	}
+}
+
+// viewConvert dispatches one chunk conversion onto the typed engine.
+func viewConvert(data []byte, count, fields, elem int, o Options, inverse bool) error {
+	switch elem {
+	case 1:
+		return runConvert(data, count, fields, o, inverse)
+	case 2:
+		if v, ok := byteView[uint16](data); ok {
+			return runConvert(v, count, fields, o, inverse)
+		}
+	case 4:
+		if v, ok := byteView[uint32](data); ok {
+			return runConvert(v, count, fields, o, inverse)
+		}
+	case 8:
+		if v, ok := byteView[uint64](data); ok {
+			return runConvert(v, count, fields, o, inverse)
+		}
+	}
+	return tilestore.ErrEngineElem
+}
+
+func runConvert[T any](data []T, count, fields int, o Options, inverse bool) error {
+	if inverse {
+		return SOAToAOS(data, count, fields, o)
+	}
+	return AOSToSOA(data, count, fields, o)
+}
+
+// byteView reinterprets raw as []T when the base pointer is aligned and
+// the length divides evenly (the same zero-copy idiom as the transpose
+// service's data plane).
+func byteView[T any](raw []byte) ([]T, bool) {
+	var t T
+	sz := int(unsafe.Sizeof(t))
+	if len(raw) == 0 || len(raw)%sz != 0 {
+		return nil, false
+	}
+	if uintptr(unsafe.Pointer(&raw[0]))%uintptr(unsafe.Alignof(t)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&raw[0])), len(raw)/sz), true
+}
+
+// resolveChunkRows picks the chunk height: explicit > wisdom > the
+// static heuristic.
+func resolveChunkRows(rows, fields, elemSize int, o DatasetOptions) (int, error) {
+	if o.ChunkRows != 0 {
+		return o.ChunkRows, nil
+	}
+	if o.Tuning != WisdomOff {
+		if d, ok := lookupStoreWisdom(rows, fields, elemSize); ok {
+			return d.ChunkRows, nil
+		}
+		if o.Tuning == WisdomRequired {
+			return 0, fmt.Errorf("%w (%d fields, %d-byte elements, tile store)", ErrNoWisdom, fields, elemSize)
+		}
+	}
+	return defaultChunkRows(rows, fields, elemSize), nil
+}
+
+// defaultChunkRows targets chunks of ~4 MiB of AoS input — small enough
+// that the per-chunk transpose stays resident under any sane budget,
+// tall enough that segments are worth a seek — clamped to the dataset.
+func defaultChunkRows(rows, fields, elemSize int) int {
+	const targetChunk = 4 << 20
+	rowBytes, ok := mathutil.CheckedMul(fields, elemSize)
+	if !ok || rowBytes <= 0 {
+		return 1
+	}
+	cr := targetChunk / rowBytes
+	if cr < 1 {
+		cr = 1
+	}
+	if cr > rows && rows > 0 {
+		cr = rows
+	}
+	return cr
+}
+
+// lookupStoreWisdom returns the recorded tile-store decision for a
+// schema and row-count class.
+func lookupStoreWisdom(rows, fields, elemSize int) (tune.StoreDecision, bool) {
+	k := tune.StoreKey{Fields: fields, ElemSize: elemSize, RowsLog2: tune.BudgetLog2(int64(rows))}
+	wisdomTab.mu.RLock()
+	defer wisdomTab.mu.RUnlock()
+	return wisdomTab.t.LookupStore(k)
+}
+
+func storeStoreWisdom(k tune.StoreKey, d tune.StoreDecision) {
+	wisdomTab.mu.Lock()
+	wisdomTab.t.StoreStore(k, d)
+	wisdomTab.mu.Unlock()
+}
+
+// StoreTuneResult reports the winning ingest configuration of a
+// TuneStore call.
+type StoreTuneResult struct {
+	Rows, Fields int
+	ElemSize     int
+
+	ChunkRows int
+	Workers   int
+	GBps      float64 // ingest throughput of the winner (AoS bytes in)
+}
+
+// String summarizes the result.
+func (r StoreTuneResult) String() string {
+	return fmt.Sprintf("store tuned %d rows × %d fields (%dB): chunk_rows=%d workers=%d (%.2f GB/s)",
+		r.Rows, r.Fields, r.ElemSize, r.ChunkRows, r.Workers, r.GBps)
+}
+
+// TuneStore measures tile-store ingest across chunk heights (and worker
+// counts) for a schema by building scratch datasets of the real shape in
+// a temp directory, records the winner in the process wisdom table under
+// the row count's binary magnitude class, and returns it. Subsequent
+// CreateDataset calls for a matching schema (with DatasetOptions.Tuning
+// at WisdomAuto and ChunkRows zero) use the measured chunk height;
+// SaveWisdom persists it alongside the transpose decisions.
+//
+// The call writes (and removes) scratch datasets of rows*fields*elemSize
+// bytes each; expect one full ingest per candidate.
+func TuneStore(rows, fields, elemSize int, cfgs ...TuneConfig) (StoreTuneResult, error) {
+	var c TuneConfig
+	if len(cfgs) > 0 {
+		c = cfgs[0]
+	}
+	if rows <= 0 || fields <= 0 || elemSize <= 0 {
+		return StoreTuneResult{}, shapeErr(rows, fields)
+	}
+	rowBytes, ok := mathutil.CheckedMul(fields, elemSize)
+	if !ok {
+		return StoreTuneResult{}, overflowErr(rows, fields)
+	}
+	total, ok := mathutil.CheckedMul(rows, rowBytes)
+	if !ok {
+		return StoreTuneResult{}, overflowErr(rows, fields)
+	}
+
+	// Candidate chunk heights: the heuristic and its neighbors two
+	// octaves either way, deduplicated after clamping.
+	base := defaultChunkRows(rows, fields, elemSize)
+	var cands []int
+	seen := map[int]bool{}
+	for _, cr := range []int{base / 4, base / 2, base, base * 2, base * 4} {
+		if cr < 1 {
+			cr = 1
+		}
+		if cr > rows {
+			cr = rows
+		}
+		if !seen[cr] {
+			seen[cr] = true
+			cands = append(cands, cr)
+		}
+	}
+	workers := parallel.Workers(c.Workers)
+	reps := 1
+	if c.Reps > 0 {
+		reps = c.Reps
+	}
+
+	scratch, err := os.MkdirTemp("", "xposestore-tune-*")
+	if err != nil {
+		return StoreTuneResult{}, err
+	}
+	defer os.RemoveAll(scratch)
+
+	input := make([]byte, total)
+	for i := range input {
+		input[i] = byte(i*2654435761 + i>>8)
+	}
+
+	best := StoreTuneResult{Rows: rows, Fields: fields, ElemSize: elemSize}
+	for ci, chunkRows := range cands {
+		var bestRun float64
+		for rep := 0; rep < reps; rep++ {
+			dir := filepath.Join(scratch, fmt.Sprintf("cand-%d-%d", ci, rep))
+			ds, err := tilestore.Create(dir, tilestore.Schema{
+				Rows: rows, Fields: fields, ElemSize: elemSize, ChunkRows: chunkRows,
+			}, tilestore.Options{Workers: workers, Engine: datasetEngine(workers), Label: "tune"})
+			if err != nil {
+				return StoreTuneResult{}, err
+			}
+			start := time.Now()
+			err = ds.Ingest(newSliceReader(input))
+			elapsed := time.Since(start)
+			ds.Close()
+			if rmErr := os.RemoveAll(dir); err == nil {
+				err = rmErr
+			}
+			if err != nil {
+				return StoreTuneResult{}, err
+			}
+			if gbps := float64(total) / elapsed.Seconds() / 1e9; gbps > bestRun {
+				bestRun = gbps
+			}
+		}
+		if bestRun > best.GBps {
+			best.GBps = bestRun
+			best.ChunkRows = chunkRows
+			best.Workers = workers
+		}
+	}
+	storeStoreWisdom(
+		tune.StoreKey{Fields: fields, ElemSize: elemSize, RowsLog2: tune.BudgetLog2(int64(rows))},
+		tune.StoreDecision{ChunkRows: best.ChunkRows, Workers: best.Workers, GBps: best.GBps},
+	)
+	return best, nil
+}
+
+// newSliceReader avoids bytes.NewReader's escape of the backing array
+// bookkeeping between reps — a plain cursor over a shared slice.
+func newSliceReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct {
+	b []byte
+	n int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.n >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.n:])
+	r.n += n
+	return n, nil
+}
